@@ -1,0 +1,42 @@
+# Standard workflows for the sapla reproduction.
+
+GO ?= go
+
+.PHONY: all build test race cover bench vet fuzz experiments report clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing bursts over every fuzz target.
+fuzz:
+	$(GO) test -fuzz=FuzzReadSeries -fuzztime=30s ./internal/tsio/
+	$(GO) test -fuzz=FuzzDecodeRepresentation -fuzztime=30s ./internal/tsio/
+	$(GO) test -fuzz=FuzzReduce -fuzztime=30s ./internal/core/
+
+# Regenerate every paper table/figure at the default reduced scale.
+experiments:
+	$(GO) run ./cmd/sapla-experiments
+
+# Full Markdown report.
+report:
+	$(GO) run ./cmd/sapla-report -out REPORT.md
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,67 @@
+// Command sapla-datasets lists the synthetic UCR2018 archive or exports a
+// dataset to the UCR text convention (class label, then values, comma
+// separated, one series per line).
+//
+// Usage:
+//
+//	sapla-datasets                         # list all 117 datasets
+//	sapla-datasets -export CBF             # dump CBF to stdout
+//	sapla-datasets -export CBF -out cbf.txt -length 256 -count 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sapla"
+	"sapla/internal/tsio"
+	"sapla/internal/ucr"
+)
+
+func main() {
+	export := flag.String("export", "", "dataset name to export (empty = list)")
+	out := flag.String("out", "", "output file (default stdout)")
+	length := flag.Int("length", 1024, "series length")
+	count := flag.Int("count", 100, "series per dataset")
+	queries := flag.Int("queries", 0, "additionally exported held-out queries")
+	flag.Parse()
+
+	if *export == "" {
+		fmt.Printf("%-32s %-12s %s\n", "name", "family", "classes")
+		for _, d := range ucr.Datasets() {
+			fmt.Printf("%-32s %-12s %d\n", d.Name, d.Family, d.Classes)
+		}
+		return
+	}
+
+	d, err := sapla.DatasetByName(*export)
+	if err != nil {
+		fatal(err)
+	}
+	data, qs := d.Generate(sapla.DataConfig{Length: *length, Count: *count, Queries: *queries})
+	rows := make([]tsio.LabeledSeries, 0, len(data)+len(qs))
+	for _, inst := range append(data, qs...) {
+		rows = append(rows, tsio.LabeledSeries{Class: inst.Class, Values: inst.Values})
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tsio.WriteDataset(w, rows); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d series of length %d to %s\n", len(rows), *length, *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sapla-datasets:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,241 @@
+// Command sapla-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	sapla-experiments [flags]
+//
+//	-fig string     which experiment to run: all, 1, 5, 10, 12, 13-16,
+//	                table1, classify, ksweep, perdataset (default "all")
+//	-full           run at the paper's full scale
+//	                (117 datasets × 100 series × length 1024)
+//	-datasets int   limit the number of datasets (0 = configuration default)
+//	-files string   glob of real UCR text files replacing the synthetic archive
+//	-length int     series length override
+//	-count int      series per dataset override
+//	-queries int    queries per dataset override
+//	-m int          coefficient budget for the index experiments (default 12)
+//	-workers int    dataset-level parallelism (default GOMAXPROCS)
+//	-csv dir        also write each experiment's rows as CSV into dir
+//
+// Figures 13–16 all come from the same index experiment, so "-fig 13" (or
+// 14/15/16) prints the combined table. "ksweep" and "perdataset" are the
+// verbose breakdowns and only run when requested explicitly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sapla/internal/eval"
+	"sapla/internal/ucr"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "experiment to run: all, 1, 5, 10, 12, 13, 14, 15, 16, table1, classify, perdataset, ksweep")
+	full := flag.Bool("full", false, "paper-scale run (117×100×1024)")
+	nDatasets := flag.Int("datasets", 0, "limit dataset count (0 = default)")
+	length := flag.Int("length", 0, "series length override")
+	count := flag.Int("count", 0, "series per dataset override")
+	queries := flag.Int("queries", 0, "queries per dataset override")
+	m := flag.Int("m", 12, "coefficient budget for index experiments")
+	workers := flag.Int("workers", 0, "dataset-level parallelism")
+	csvDir := flag.String("csv", "", "also write each experiment's rows as CSV into this directory")
+	files := flag.String("files", "", "glob of real UCR text files to use instead of the synthetic archive")
+	flag.Parse()
+
+	writeCSV := func(name string, write func(w io.Writer) error) error {
+		if *csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name))
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+
+	opt := eval.DefaultOptions()
+	if *full {
+		opt = eval.FullOptions()
+	}
+	if *nDatasets > 0 {
+		all := ucr.Datasets()
+		if *nDatasets < len(all) {
+			all = all[:*nDatasets]
+		}
+		opt.Datasets = eval.Sources(all)
+	}
+	if *files != "" {
+		paths, err := filepath.Glob(*files)
+		if err != nil || len(paths) == 0 {
+			fmt.Fprintf(os.Stderr, "no dataset files match %q (%v)\n", *files, err)
+			os.Exit(1)
+		}
+		var srcs []ucr.Source
+		for _, p := range paths {
+			srcs = append(srcs, ucr.NewFileSource(p))
+		}
+		opt.Datasets = srcs
+	}
+	if *length > 0 {
+		opt.Cfg.Length = *length
+	}
+	if *count > 0 {
+		opt.Cfg.Count = *count
+	}
+	if *queries > 0 {
+		opt.Cfg.Queries = *queries
+	}
+	opt.Workers = *workers
+
+	run := func(name string, fn func() error) {
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(keys ...string) bool {
+		if *fig == "all" {
+			return true
+		}
+		for _, k := range keys {
+			if *fig == k {
+				return true
+			}
+		}
+		return false
+	}
+
+	fmt.Printf("SAPLA experiment harness — %d datasets, n=%d, %d series, %d queries, M=%v, K=%v\n\n",
+		len(opt.Datasets), opt.Cfg.Length, opt.Cfg.Count, opt.Cfg.Queries, opt.Ms, opt.Ks)
+
+	if want("1") {
+		run("Figure 1 (worked example, all methods)", func() error {
+			rows, err := eval.WorkedExample()
+			if err != nil {
+				return err
+			}
+			fmt.Print(eval.FormatWorked(rows))
+			if plot, err := eval.PlotWorkedExample(12); err == nil {
+				fmt.Print(plot)
+			}
+			return writeCSV("fig01_worked.csv", func(w io.Writer) error {
+				return eval.WriteWorkedCSV(w, rows)
+			})
+		})
+	}
+	if want("5", "6", "8") {
+		run("Figures 5/6/8 (SAPLA stages)", func() error {
+			rows, err := eval.WorkedStages()
+			if err != nil {
+				return err
+			}
+			fmt.Print(eval.FormatWorked(rows))
+			return writeCSV("fig05_stages.csv", func(w io.Writer) error {
+				return eval.WriteWorkedCSV(w, rows)
+			})
+		})
+	}
+	if want("10") {
+		run("Figure 10 (lower-bound tightness)", func() error {
+			rows, err := eval.TightnessExperiment(opt, *m)
+			if err != nil {
+				return err
+			}
+			fmt.Print(eval.FormatTightness(rows))
+			return writeCSV("fig10_tightness.csv", func(w io.Writer) error {
+				return eval.WriteTightnessCSV(w, rows)
+			})
+		})
+	}
+	if want("12") {
+		run("Figure 12 (max deviation & reduction time)", func() error {
+			rows, err := eval.ReductionExperiment(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Print(eval.FormatReduction(rows))
+			return writeCSV("fig12_reduction.csv", func(w io.Writer) error {
+				return eval.WriteReductionCSV(w, rows)
+			})
+		})
+	}
+	if want("13", "14", "15", "16") {
+		run("Figures 13-16 (pruning power, accuracy, times, tree shape)", func() error {
+			rows, err := eval.IndexExperiment(opt, *m)
+			if err != nil {
+				return err
+			}
+			fmt.Print(eval.FormatIndex(rows))
+			return writeCSV("fig13to16_index.csv", func(w io.Writer) error {
+				return eval.WriteIndexCSV(w, rows)
+			})
+		})
+	}
+	if *fig == "ksweep" { // verbose: only on explicit request
+		run("K sweep (Figure 13 per-K curves)", func() error {
+			rows, err := eval.IndexByK(opt, *m)
+			if err != nil {
+				return err
+			}
+			fmt.Print(eval.FormatKRows(rows))
+			return writeCSV("ksweep.csv", func(w io.Writer) error {
+				return eval.WriteKCSV(w, rows)
+			})
+		})
+	}
+	if *fig == "perdataset" { // verbose: only on explicit request
+		run("Per-dataset breakdown (technical-report tables)", func() error {
+			rows, err := eval.ReductionByDataset(opt, *m)
+			if err != nil {
+				return err
+			}
+			fmt.Print(eval.FormatDatasetRows(rows))
+			return writeCSV("perdataset.csv", func(w io.Writer) error {
+				return eval.WriteDatasetCSV(w, rows)
+			})
+		})
+	}
+	if want("classify") {
+		run("Classification application (1-NN over the archive)", func() error {
+			rows, err := eval.ClassificationExperiment(opt, *m, 1)
+			if err != nil {
+				return err
+			}
+			fmt.Print(eval.FormatClassification(rows))
+			return writeCSV("classification.csv", func(w io.Writer) error {
+				return eval.WriteClassificationCSV(w, rows)
+			})
+		})
+	}
+	if want("table1") {
+		run("Table 1 (complexity scaling)", func() error {
+			lengths := []int{128, 256, 512, 1024}
+			if !*full {
+				lengths = []int{64, 128, 256}
+			}
+			rows, err := eval.ScalingExperiment(lengths, *m, 3)
+			if err != nil {
+				return err
+			}
+			fmt.Print(eval.FormatScaling(rows))
+			return writeCSV("table1_scaling.csv", func(w io.Writer) error {
+				return eval.WriteScalingCSV(w, rows)
+			})
+		})
+	}
+}

@@ -1,0 +1,110 @@
+// Command sapla-knn runs k-NN similarity search over one synthetic UCR2018
+// dataset, comparing the DBCH-tree, the R-tree and a linear scan.
+//
+// Usage:
+//
+//	sapla-knn [-dataset CBF] [-method SAPLA] [-m 12] [-k 8]
+//	          [-length 256] [-count 100] [-queries 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sapla"
+)
+
+func main() {
+	dataset := flag.String("dataset", "CBF", "UCR2018 dataset name")
+	method := flag.String("method", "SAPLA", "reduction method")
+	m := flag.Int("m", 12, "coefficient budget M")
+	k := flag.Int("k", 8, "number of neighbours")
+	length := flag.Int("length", 256, "series length")
+	count := flag.Int("count", 100, "stored series")
+	queries := flag.Int("queries", 3, "query series")
+	flag.Parse()
+
+	d, err := sapla.DatasetByName(*dataset)
+	if err != nil {
+		fatal(err)
+	}
+	meth, err := sapla.MethodByName(*method)
+	if err != nil {
+		fatal(err)
+	}
+	data, qs := d.Generate(sapla.DataConfig{Length: *length, Count: *count, Queries: *queries})
+
+	rt, err := sapla.NewRTree(meth.Name(), *length, *m)
+	if err != nil {
+		fatal(err)
+	}
+	db, err := sapla.NewDBCH(meth.Name())
+	if err != nil {
+		fatal(err)
+	}
+	scan := sapla.NewLinearScan()
+
+	start := time.Now()
+	for id, inst := range data {
+		rep, err := meth.Reduce(inst.Values, *m)
+		if err != nil {
+			fatal(err)
+		}
+		e := sapla.NewEntry(id, inst.Values, rep)
+		for _, idx := range []sapla.Index{rt, db, scan} {
+			if err := idx.Insert(e); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	fmt.Printf("dataset %s (%s family): %d series of length %d ingested in %v\n",
+		d.Name, d.Family, len(data), *length, time.Since(start).Round(time.Millisecond))
+	rs, ds := rt.Stats(), db.Stats()
+	fmt.Printf("R-tree   : %d nodes (%d internal), height %d\n", rs.TotalNodes(), rs.InternalNodes, rs.Height)
+	fmt.Printf("DBCH-tree: %d nodes (%d internal), height %d\n\n", ds.TotalNodes(), ds.InternalNodes, ds.Height)
+
+	for qi, inst := range qs {
+		qrep, err := meth.Reduce(inst.Values, *m)
+		if err != nil {
+			fatal(err)
+		}
+		query := sapla.NewQuery(inst.Values, qrep)
+		exact, _, err := scan.KNN(query, *k)
+		if err != nil {
+			fatal(err)
+		}
+		truth := map[int]bool{}
+		for _, r := range exact {
+			truth[r.Entry.ID] = true
+		}
+		fmt.Printf("query %d (class %d):\n", qi, inst.Class)
+		for name, idx := range map[string]sapla.Index{"R-tree": rt, "DBCH-tree": db} {
+			start := time.Now()
+			res, stats, err := idx.KNN(query, *k)
+			if err != nil {
+				fatal(err)
+			}
+			var hits int
+			for _, r := range res {
+				if truth[r.Entry.ID] {
+					hits++
+				}
+			}
+			fmt.Printf("  %-9s measured %3d/%d (ρ=%.3f)  accuracy %d/%d  %v\n",
+				name, stats.Measured, len(data),
+				float64(stats.Measured)/float64(len(data)), hits, *k,
+				time.Since(start).Round(time.Microsecond))
+		}
+		if len(exact) > 0 {
+			fmt.Printf("  nearest: id=%d dist=%.4f class=%d\n",
+				exact[0].Entry.ID, exact[0].Dist, data[exact[0].Entry.ID].Class)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sapla-knn:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,129 @@
+// Command sapla-reduce reduces a time series read from a file (or stdin)
+// and prints the representation coefficients and reconstruction quality.
+//
+// Usage:
+//
+//	sapla-reduce [-method SAPLA] [-m 12] [-reconstruct] [-save rep.json] [file]
+//	sapla-reduce -load rep.json -against series.txt
+//
+// The input is one number per line (or whitespace/comma separated); '#'
+// lines are comments. With -reconstruct the reconstructed series is printed
+// one value per line instead of the summary. With -save the representation
+// is persisted as a JSON envelope; -load reads such an envelope back and,
+// with -against, reports its deviation against a raw series.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sapla"
+	"sapla/internal/repr"
+	"sapla/internal/ts"
+	"sapla/internal/tsio"
+)
+
+func main() {
+	method := flag.String("method", "SAPLA", "reduction method: SAPLA, APLA, APCA, PLA, PAA, PAALM, CHEBY, SAX")
+	m := flag.Int("m", 12, "coefficient budget M")
+	reconstruct := flag.Bool("reconstruct", false, "print the reconstructed series instead of a summary")
+	save := flag.String("save", "", "write the representation envelope to this file")
+	load := flag.String("load", "", "read a representation envelope instead of reducing")
+	against := flag.String("against", "", "raw series file to evaluate a loaded representation against")
+	flag.Parse()
+
+	if *load != "" {
+		runLoad(*load, *against, *reconstruct)
+		return
+	}
+
+	series := readInput()
+	meth, err := sapla.MethodByName(*method)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := meth.Reduce(series, *m)
+	if err != nil {
+		fatal(err)
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tsio.EncodeRepresentation(f, rep); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *reconstruct {
+		if err := tsio.WriteSeries(os.Stdout, rep.Reconstruct()); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("method      : %s\n", meth.Name())
+	fmt.Printf("length      : %d points\n", len(series))
+	fmt.Printf("segments    : %d\n", rep.Segments())
+	fmt.Printf("coefficients: %v\n", rep.Coeffs())
+	fmt.Printf("max dev     : %.6f\n", sapla.MaxDeviation(series, rep))
+}
+
+// readInput reads the positional file argument or stdin.
+func readInput() ts.Series {
+	if flag.NArg() > 0 {
+		s, err := tsio.ReadSeriesFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		return s
+	}
+	s, err := tsio.ReadSeries(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	return s
+}
+
+// runLoad handles -load / -against / -reconstruct.
+func runLoad(path, against string, reconstruct bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	rep, err := tsio.DecodeRepresentation(f)
+	if err != nil {
+		fatal(err)
+	}
+	if reconstruct {
+		if err := tsio.WriteSeries(os.Stdout, rep.Reconstruct()); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("kind     : %T\n", rep)
+	fmt.Printf("length   : %d points\n", rep.Len())
+	fmt.Printf("segments : %d\n", rep.Segments())
+	if against != "" {
+		series, err := tsio.ReadSeriesFile(against)
+		if err != nil {
+			fatal(err)
+		}
+		if len(series) != rep.Len() {
+			fatal(fmt.Errorf("series length %d != representation length %d", len(series), rep.Len()))
+		}
+		fmt.Printf("max dev  : %.6f\n", ts.MaxDeviation(series, rep.Reconstruct()))
+	}
+	if lin, ok := rep.(repr.Linear); ok {
+		fmt.Printf("endpoints: %v\n", lin.Endpoints())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sapla-reduce:", err)
+	os.Exit(1)
+}

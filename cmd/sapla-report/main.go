@@ -1,0 +1,131 @@
+// Command sapla-report runs the complete experiment suite and writes a
+// self-contained Markdown report (tables plus ASCII renderings of the
+// worked example) — a generated analogue of the paper's technical report.
+//
+// Usage:
+//
+//	sapla-report [-out REPORT.md] [-full] [-length n] [-count c] [-queries q] [-m 12]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sapla/internal/eval"
+)
+
+func main() {
+	out := flag.String("out", "REPORT.md", "output Markdown file")
+	full := flag.Bool("full", false, "paper-scale run (117×100×1024; hours)")
+	length := flag.Int("length", 0, "series length override")
+	count := flag.Int("count", 0, "series per dataset override")
+	queries := flag.Int("queries", 0, "queries per dataset override")
+	m := flag.Int("m", 12, "coefficient budget for index experiments")
+	flag.Parse()
+
+	opt := eval.DefaultOptions()
+	if *full {
+		opt = eval.FullOptions()
+	}
+	if *length > 0 {
+		opt.Cfg.Length = *length
+	}
+	if *count > 0 {
+		opt.Cfg.Count = *count
+	}
+	if *queries > 0 {
+		opt.Cfg.Queries = *queries
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# SAPLA reproduction report\n\n")
+	fmt.Fprintf(&sb, "Generated %s — %d datasets, n = %d, %d series/dataset, %d queries, M = %v, K = %v.\n\n",
+		time.Now().Format(time.RFC1123), len(opt.Datasets), opt.Cfg.Length,
+		opt.Cfg.Count, opt.Cfg.Queries, opt.Ms, opt.Ks)
+
+	section := func(title string, fn func() (string, error)) {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "%-50s", title+"...")
+		body, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(&sb, "## %s\n\n```\n%s```\n\n", title, body)
+	}
+
+	section("Figure 1 — worked example", func() (string, error) {
+		rows, err := eval.WorkedExample()
+		if err != nil {
+			return "", err
+		}
+		plot, err := eval.PlotWorkedExample(12)
+		if err != nil {
+			return "", err
+		}
+		return eval.FormatWorked(rows) + "\n" + plot, nil
+	})
+	section("Figures 5/6/8 — SAPLA stages", func() (string, error) {
+		rows, err := eval.WorkedStages()
+		if err != nil {
+			return "", err
+		}
+		return eval.FormatWorked(rows), nil
+	})
+	section("Figure 10 — lower-bound tightness", func() (string, error) {
+		rows, err := eval.TightnessExperiment(opt, *m)
+		if err != nil {
+			return "", err
+		}
+		return eval.FormatTightness(rows), nil
+	})
+	section("Figure 12 — max deviation & reduction time", func() (string, error) {
+		rows, err := eval.ReductionExperiment(opt)
+		if err != nil {
+			return "", err
+		}
+		return eval.FormatReduction(rows), nil
+	})
+	section("Figures 13-16 — index quality and shape", func() (string, error) {
+		rows, err := eval.IndexExperiment(opt, *m)
+		if err != nil {
+			return "", err
+		}
+		return eval.FormatIndex(rows), nil
+	})
+	section("K sweep — pruning/accuracy vs K", func() (string, error) {
+		rows, err := eval.IndexByK(opt, *m)
+		if err != nil {
+			return "", err
+		}
+		return eval.FormatKRows(rows), nil
+	})
+	section("Classification application", func() (string, error) {
+		rows, err := eval.ClassificationExperiment(opt, *m, 1)
+		if err != nil {
+			return "", err
+		}
+		return eval.FormatClassification(rows), nil
+	})
+	section("Table 1 — complexity scaling", func() (string, error) {
+		lengths := []int{64, 128, 256}
+		if *full {
+			lengths = []int{128, 256, 512, 1024}
+		}
+		rows, err := eval.ScalingExperiment(lengths, *m, 3)
+		if err != nil {
+			return "", err
+		}
+		return eval.FormatScaling(rows), nil
+	})
+
+	if err := os.WriteFile(*out, []byte(sb.String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "sapla-report:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", *out, sb.Len())
+}

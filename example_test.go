@@ -1,0 +1,69 @@
+package sapla_test
+
+import (
+	"fmt"
+
+	"sapla"
+)
+
+// The paper's 20-point worked example (Figure 1) reduced to N = 4 adaptive
+// linear segments.
+func ExampleSAPLA() {
+	series := sapla.Series{7, 8, 20, 15, 18, 8, 8, 15, 10, 1, 4, 3, 3, 5, 4, 9, 2, 9, 10, 10}
+	rep, err := sapla.SAPLA().Reduce(series, 12) // M = 12 → N = 4
+	if err != nil {
+		panic(err)
+	}
+	lin := rep.(sapla.Linear)
+	fmt.Println("segments:", lin.Segments())
+	fmt.Println("endpoints:", lin.Endpoints())
+	fmt.Printf("max deviation: %.4f\n", sapla.MaxDeviation(series, rep))
+	// Output:
+	// segments: 4
+	// endpoints: [1 6 10 19]
+	// max deviation: 5.0278
+}
+
+func ExampleSAPLAStages() {
+	series := sapla.Series{7, 8, 20, 15, 18, 8, 8, 15, 10, 1, 4, 3, 3, 5, 4, 9, 2, 9, 10, 10}
+	init, afterSM, final, err := sapla.SAPLAStages(series, 12)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("initialization segments:", init.Segments())
+	fmt.Println("split & merge segments:", afterSM.Segments())
+	fmt.Println("final segments:", final.Segments())
+	// Output:
+	// initialization segments: 6
+	// split & merge segments: 4
+	// final segments: 4
+}
+
+func ExampleDistPAR() {
+	a := sapla.Series{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	b := sapla.Series{0, 2, 4, 6, 8, 10, 12, 14, 16, 18}
+	ra, _ := sapla.SAPLA().Reduce(a, 6)
+	rb, _ := sapla.SAPLA().Reduce(b, 6)
+	par, _ := sapla.DistPAR(ra, rb)
+	euc, _ := sapla.Euclidean(a, b)
+	fmt.Printf("Dist_PAR %.4f lower-bounds Euclid %.4f: %v\n", par, euc, par <= euc)
+	// Output:
+	// Dist_PAR 16.8819 lower-bounds Euclid 16.8819: true
+}
+
+func ExampleMethodByName() {
+	m, err := sapla.MethodByName("APCA")
+	if err != nil {
+		panic(err)
+	}
+	series := make(sapla.Series, 32)
+	for i := 16; i < 32; i++ {
+		series[i] = 10
+	}
+	rep, _ := m.Reduce(series, 4)
+	fmt.Println(m.Name(), "segments:", rep.Segments())
+	fmt.Printf("max deviation: %.1f\n", sapla.MaxDeviation(series, rep))
+	// Output:
+	// APCA segments: 2
+	// max deviation: 0.0
+}

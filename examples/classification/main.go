@@ -1,0 +1,101 @@
+// Classification: 1-NN time-series classification — the paper's motivating
+// application — over a synthetic UCR2018 dataset, accelerated by SAPLA +
+// DBCH-tree and checked against an exact linear scan.
+//
+//	go run ./examples/classification
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sapla"
+)
+
+const (
+	datasetName = "CBF" // cylinder–bell–funnel, the classic 3-class benchmark
+	seriesLen   = 256
+	trainSize   = 150
+	testSize    = 30
+	budgetM     = 12
+)
+
+func main() {
+	d, err := sapla.DatasetByName(datasetName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := d.Generate(sapla.DataConfig{Length: seriesLen, Count: trainSize, Queries: testSize})
+	meth := sapla.SAPLA()
+
+	// Index the training set.
+	idx, err := sapla.NewDBCH(meth.Name())
+	if err != nil {
+		log.Fatal(err)
+	}
+	scan := sapla.NewLinearScan()
+	for id, inst := range train {
+		rep, err := meth.Reduce(inst.Values, budgetM)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e := sapla.NewEntry(id, inst.Values, rep)
+		if err := idx.Insert(e); err != nil {
+			log.Fatal(err)
+		}
+		if err := scan.Insert(e); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	classify := func(index sapla.Index, q sapla.Query) (int, int, error) {
+		res, stats, err := index.KNN(q, 1)
+		if err != nil || len(res) == 0 {
+			return -1, 0, err
+		}
+		return train[res[0].Entry.ID].Class, stats.Measured, nil
+	}
+
+	var correctTree, correctScan, measuredTree, measuredScan int
+	var treeTime, scanTime time.Duration
+	for _, inst := range test {
+		qrep, err := meth.Reduce(inst.Values, budgetM)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q := sapla.NewQuery(inst.Values, qrep)
+
+		start := time.Now()
+		pred, measured, err := classify(idx, q)
+		treeTime += time.Since(start)
+		if err != nil {
+			log.Fatal(err)
+		}
+		measuredTree += measured
+		if pred == inst.Class {
+			correctTree++
+		}
+
+		start = time.Now()
+		pred, measured, err = classify(scan, q)
+		scanTime += time.Since(start)
+		if err != nil {
+			log.Fatal(err)
+		}
+		measuredScan += measured
+		if pred == inst.Class {
+			correctScan++
+		}
+	}
+
+	fmt.Printf("1-NN classification on %s (%d train / %d test, n = %d, M = %d)\n\n",
+		datasetName, trainSize, testSize, seriesLen, budgetM)
+	fmt.Printf("%-18s %10s %18s %12s\n", "classifier", "accuracy", "series measured", "total time")
+	fmt.Printf("%-18s %9.1f%% %11d/%d %12v\n", "SAPLA + DBCH-tree",
+		100*float64(correctTree)/float64(testSize), measuredTree, testSize*trainSize, treeTime.Round(time.Microsecond))
+	fmt.Printf("%-18s %9.1f%% %11d/%d %12v\n", "exact linear scan",
+		100*float64(correctScan)/float64(testSize), measuredScan, testSize*trainSize, scanTime.Round(time.Microsecond))
+	fmt.Printf("\npruning power ρ = %.3f (fraction of the training set touched per query)\n",
+		float64(measuredTree)/float64(testSize*trainSize))
+}

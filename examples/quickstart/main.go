@@ -1,0 +1,66 @@
+// Quickstart: reduce a time series with SAPLA, inspect the representation,
+// and compare reconstruction quality against the paper's baselines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"sapla"
+)
+
+func main() {
+	// A noisy two-regime signal: a rising ramp, then a damped oscillation.
+	n := 200
+	series := make(sapla.Series, n)
+	for i := range series {
+		x := float64(i)
+		if i < n/2 {
+			series[i] = 0.1*x + 2*math.Sin(x/6)
+		} else {
+			series[i] = 10 + 8*math.Exp(-(x-100)/40)*math.Sin(x/4)
+		}
+	}
+
+	// Reduce to M = 12 coefficients → N = 4 adaptive linear segments.
+	const m = 12
+	rep, err := sapla.SAPLA().Reduce(series, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lin := rep.(sapla.Linear)
+	fmt.Printf("SAPLA reduced %d points to %d segments (M = %d):\n", n, rep.Segments(), m)
+	start := 0
+	for i, s := range lin.Segs {
+		fmt.Printf("  segment %d: points [%3d, %3d]  value ≈ %.3f·t + %.3f\n",
+			i, start, s.R, s.Line.A, s.Line.B)
+		start = s.R + 1
+	}
+	fmt.Printf("max deviation: %.4f\n\n", sapla.MaxDeviation(series, rep))
+
+	// The three SAPLA stages (paper Figures 5, 6, 8).
+	initRep, afterSM, final, err := sapla.SAPLAStages(series, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("stage-by-stage max deviation:")
+	fmt.Printf("  initialization    : %d segments, dev %.4f\n",
+		initRep.Segments(), sapla.MaxDeviation(series, initRep))
+	fmt.Printf("  split & merge     : %d segments, dev %.4f\n",
+		afterSM.Segments(), sapla.MaxDeviation(series, afterSM))
+	fmt.Printf("  endpoint movement : %d segments, dev %.4f\n\n",
+		final.Segments(), sapla.MaxDeviation(series, final))
+
+	// Same budget, every method (paper Figure 12a in miniature).
+	fmt.Printf("%-6s %9s %9s\n", "method", "segments", "max dev")
+	for _, meth := range sapla.Methods() {
+		r, err := meth.Reduce(series, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s %9d %9.4f\n", meth.Name(), r.Segments(), sapla.MaxDeviation(series, r))
+	}
+}

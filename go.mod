@@ -1,0 +1,3 @@
+module sapla
+
+go 1.22

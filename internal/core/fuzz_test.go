@@ -1,0 +1,57 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"sapla/internal/repr"
+	"sapla/internal/ts"
+)
+
+// FuzzReduce feeds SAPLA arbitrary byte-derived series: it must either
+// reject the input or return a structurally valid N-segment representation
+// with a finite reconstruction.
+func FuzzReduce(f *testing.F) {
+	seed := make([]byte, 0, 64*8)
+	for i := 0; i < 64; i++ {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(float64(i%7)*3.25))
+		seed = append(seed, b[:]...)
+	}
+	f.Add(seed, 12)
+	f.Add(seed[:16*8], 6)
+	f.Fuzz(func(t *testing.T, raw []byte, m int) {
+		if m < 0 || m > 300 {
+			return
+		}
+		n := len(raw) / 8
+		if n > 4096 {
+			n = 4096
+		}
+		c := make(ts.Series, 0, n)
+		for i := 0; i < n; i++ {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return // Validate rejects / extreme magnitudes overflow bounds
+			}
+			c = append(c, v)
+		}
+		rep, err := New().Reduce(c, m)
+		if err != nil {
+			return
+		}
+		lin := rep.(repr.Linear)
+		if err := lin.Validate(); err != nil {
+			t.Fatalf("invalid representation: %v", err)
+		}
+		if lin.Segments() != m/3 {
+			t.Fatalf("segments = %d, want %d", lin.Segments(), m/3)
+		}
+		for _, v := range lin.Reconstruct() {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("non-finite reconstruction")
+			}
+		}
+	})
+}

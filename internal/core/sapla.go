@@ -1,0 +1,490 @@
+// Package core implements SAPLA — Self-Adaptive Piecewise Linear
+// Approximation — the paper's primary contribution (Section 4): an
+// adaptive-length linear segmentation with N = M/3 segments computed by
+//
+//  1. Initialization (Algorithm 4.2): one scan over the series cuts a new
+//     segment whenever the Increment Area of the growing segment ranks among
+//     the N−1 largest seen so far.
+//  2. Split & merge iteration (Algorithm 4.3): merge the adjacent pair with
+//     the smallest Reconstruction Area / split the segment with the largest
+//     upper bound β until exactly N segments remain, then keep applying
+//     paired split+merge moves while they reduce the sum upper bound β.
+//  3. Segment endpoint movement iteration (Algorithms 4.4–4.5): greedily
+//     move each boundary of high-β segments while the bound decreases.
+//
+// All per-step refits are O(1) through prefix-sum least-squares fits
+// (equivalent to the paper's Eqs. (2)–(11)); the measurable outputs (max
+// deviation etc.) are computed exactly by the evaluation harness, while the
+// β bounds here are the paper's cheap conditional bounds used only to drive
+// the search.
+package core
+
+import (
+	"sapla/internal/pqueue"
+	"sapla/internal/repr"
+	"sapla/internal/segment"
+	"sapla/internal/ts"
+)
+
+// improveEps is the minimum strict improvement of the sum upper bound β for
+// an iteration to continue; it guarantees termination where the paper
+// iterates "while β does not grow".
+const improveEps = 1e-12
+
+// SAPLA is the Self-Adaptive Piecewise Linear Approximation method. The zero
+// value is ready to use; the fields tune iteration budgets.
+type SAPLA struct {
+	// RefinePasses caps the split&merge refinement loop at size N.
+	// 0 means the paper's default of N passes.
+	RefinePasses int
+	// MovePasses is the number of endpoint-movement sweeps over the
+	// segment queue. 0 means the paper's default of one sweep.
+	MovePasses int
+	// SkipEndpointMove disables stage 3 (used by the ablation benches).
+	SkipEndpointMove bool
+	// SkipRefine disables the β^sm/β^ms refinement at size N (ablation).
+	SkipRefine bool
+	// ExactBounds replaces the paper's O(1) conditional upper bounds β with
+	// the exact per-segment max deviation ε (an O(l) scan per refit). This
+	// addresses the limitation the paper's conclusion names — conditional
+	// rather than unconditional bounds — at the cost of a slower iteration;
+	// the ablation benches quantify the quality/time trade.
+	ExactBounds bool
+}
+
+// New returns a SAPLA reducer with the paper's default iteration budgets.
+func New() *SAPLA { return &SAPLA{} }
+
+// Name implements the reduce.Method interface.
+func (*SAPLA) Name() string { return "SAPLA" }
+
+// Reduce reduces c to N = m/3 adaptive linear segments ⟨aᵢ, bᵢ, rᵢ⟩.
+func (s *SAPLA) Reduce(c ts.Series, m int) (repr.Representation, error) {
+	_, _, final, err := s.ReduceStages(c, m)
+	if err != nil {
+		return nil, err
+	}
+	return final, nil
+}
+
+// ReduceStages runs SAPLA and additionally returns the intermediate
+// representations after initialization and after the split & merge
+// iteration, matching the paper's Figures 5, 6 and 8.
+func (s *SAPLA) ReduceStages(c ts.Series, m int) (init, afterSM, final repr.Linear, err error) {
+	if err := c.Validate(); err != nil {
+		return repr.Linear{}, repr.Linear{}, repr.Linear{}, err
+	}
+	nSeg, err := segmentCount(len(c), m)
+	if err != nil {
+		return repr.Linear{}, repr.Linear{}, repr.Linear{}, err
+	}
+	st := initialize(c, nSeg)
+	if s.ExactBounds {
+		st.exact = true
+		for i := range st.segs {
+			g := &st.segs[i]
+			g.beta = segment.ExactMaxDeviation(st.c[g.start:g.end+1], g.line)
+		}
+	}
+	init = st.toRepr()
+
+	st.adjustToCount(nSeg)
+	if !s.SkipRefine {
+		passes := s.RefinePasses
+		if passes <= 0 {
+			passes = nSeg
+		}
+		st.refine(passes)
+	}
+	afterSM = st.toRepr()
+
+	if !s.SkipEndpointMove {
+		passes := s.MovePasses
+		if passes <= 0 {
+			passes = 1
+		}
+		for p := 0; p < passes; p++ {
+			if !st.moveEndpoints() {
+				break
+			}
+		}
+	}
+	final = st.toRepr()
+	return init, afterSM, final, nil
+}
+
+// segmentCount validates the coefficient budget (Table 1: N = M/3, each
+// adaptive segment covering at least 2 points).
+func segmentCount(n, m int) (int, error) {
+	if m < 3 {
+		return 0, errBudget(m, n)
+	}
+	nSeg := m / 3
+	if 2*nSeg > n {
+		return 0, errBudget(m, n)
+	}
+	return nSeg, nil
+}
+
+// seg is one working segment: its least-squares line over local time, its
+// inclusive global range, its upper bound β, and the split/merge marks used
+// by the refinement loop.
+type seg struct {
+	line       segment.Line
+	start, end int
+	beta       float64
+	split      bool
+	merged     bool
+}
+
+func (g seg) len() int { return g.end - g.start + 1 }
+
+// state is a working segmentation of c.
+type state struct {
+	c     ts.Series
+	p     *ts.Prefix
+	segs  []seg
+	exact bool // ExactBounds mode: β is the true segment max deviation
+}
+
+// initialize is Algorithm 4.2: scan once, growing the current segment and
+// cutting whenever the Increment Area ranks among the N−1 largest seen.
+func initialize(c ts.Series, nSeg int) *state {
+	st := &state{c: c, p: ts.NewPrefix(c)}
+	n := len(c)
+	// η holds the N−1 largest increment areas seen; its minimum is the
+	// increment threshold.
+	eta := pqueue.NewMin[struct{}]()
+	capacity := nSeg - 1
+
+	start := 0
+	for start < n {
+		if start == n-1 {
+			// A single trailing point becomes a one-point segment.
+			st.push(seg{line: segment.Line{A: 0, B: c[start]}, start: start, end: start})
+			break
+		}
+		line := segment.Line{A: c[start+1] - c[start], B: c[start]}
+		l := 2
+		var maxD, beta float64
+		pos := start + 2
+		cut := false
+		for pos < n {
+			inc := segment.Append(line, l, c[pos])
+			area := segment.IncrementArea(inc, line, l)
+			if capacity > 0 && (eta.Len() < capacity || area > eta.Peek().Priority) {
+				if eta.Len() >= capacity {
+					eta.Pop()
+				}
+				eta.Push(area, struct{}{})
+				cut = true
+				break
+			}
+			beta, maxD = segment.BetaInit(c[start:pos+1], inc, line, l, maxD)
+			line = inc
+			l++
+			pos++
+		}
+		end := pos - 1
+		if !cut {
+			end = n - 1
+		}
+		st.push(seg{line: line, start: start, end: end, beta: beta})
+		start = end + 1
+	}
+	return st
+}
+
+func (st *state) push(g seg) { st.segs = append(st.segs, g) }
+
+func (st *state) size() int { return len(st.segs) }
+
+func (st *state) totalBeta() float64 {
+	var sum float64
+	for _, g := range st.segs {
+		sum += g.beta
+	}
+	return sum
+}
+
+func (st *state) fitRange(lo, hi int) segment.Line { return segment.FitWindow(st.p, lo, hi) }
+
+// mergeArea is the Reconstruction Area of merging segs[i] and segs[i+1]
+// (Definition 4.2), O(1).
+func (st *state) mergeArea(i int) float64 {
+	a, b := st.segs[i], st.segs[i+1]
+	merged := segment.Merge(a.line, a.len(), b.line, b.len())
+	return segment.ReconstructionArea(merged, a.line, a.len(), b.line, b.len())
+}
+
+// bestMergePair returns the index of the adjacent pair with the minimum
+// Reconstruction Area, optionally skipping pairs touching merge-marked
+// segments. Returns -1 if no pair qualifies.
+func (st *state) bestMergePair(skipMarked bool) int {
+	best, bestArea := -1, 0.0
+	for i := 0; i+1 < len(st.segs); i++ {
+		if skipMarked && (st.segs[i].merged || st.segs[i+1].merged) {
+			continue
+		}
+		area := st.mergeArea(i)
+		if best < 0 || area < bestArea {
+			best, bestArea = i, area
+		}
+	}
+	return best
+}
+
+// mergePair replaces segs[i] and segs[i+1] with their merged segment,
+// computing the new β per Section 4.1.4.
+func (st *state) mergePair(i int) {
+	a, b := st.segs[i], st.segs[i+1]
+	merged := segment.Merge(a.line, a.len(), b.line, b.len())
+	var beta float64
+	if st.exact {
+		beta = segment.ExactMaxDeviation(st.c[a.start:b.end+1], merged)
+	} else {
+		beta = segment.BetaMerge(st.c[a.start:b.end+1], merged, a.line, a.len(), b.line, b.len())
+	}
+	st.segs[i] = seg{line: merged, start: a.start, end: b.end, beta: beta, merged: true}
+	st.segs = append(st.segs[:i+1], st.segs[i+2:]...)
+}
+
+// bestSplitSeg returns the index of the splittable segment (≥ 2 points) with
+// the maximum β, optionally skipping split-marked segments; ties prefer the
+// longer segment. Returns -1 if none qualifies.
+func (st *state) bestSplitSeg(skipMarked bool) int {
+	best := -1
+	for i, g := range st.segs {
+		if g.len() < 2 || (skipMarked && g.split) {
+			continue
+		}
+		if best < 0 || g.beta > st.segs[best].beta ||
+			(g.beta == st.segs[best].beta && g.len() > st.segs[best].len()) {
+			best = i
+		}
+	}
+	return best
+}
+
+// splitSeg splits segs[i] at the cut with the maximum Reconstruction Area
+// (Section 4.3.2) and computes the children's β per Section 4.3.1.
+func (st *state) splitSeg(i int) {
+	g := st.segs[i]
+	bestCut, bestArea := g.start, -1.0
+	for cut := g.start; cut < g.end; cut++ {
+		l1 := cut - g.start + 1
+		l2 := g.end - cut
+		left := st.fitRange(g.start, cut+1)
+		right := st.fitRange(cut+1, g.end+1)
+		area := segment.ReconstructionArea(g.line, left, l1, right, l2)
+		if area > bestArea {
+			bestArea, bestCut = area, cut
+		}
+	}
+	l1 := bestCut - g.start + 1
+	l2 := g.end - bestCut
+	left := st.fitRange(g.start, bestCut+1)
+	right := st.fitRange(bestCut+1, g.end+1)
+	var bl, br float64
+	if st.exact {
+		bl = segment.ExactMaxDeviation(st.c[g.start:bestCut+1], left)
+		br = segment.ExactMaxDeviation(st.c[bestCut+1:g.end+1], right)
+	} else {
+		bl, br = segment.BetaSplit(st.c[g.start:g.end+1], g.line, left, l1, right, l2)
+	}
+	st.segs = append(st.segs, seg{})
+	copy(st.segs[i+2:], st.segs[i+1:])
+	st.segs[i] = seg{line: left, start: g.start, end: bestCut, beta: bl, split: true}
+	st.segs[i+1] = seg{line: right, start: bestCut + 1, end: g.end, beta: br, split: true}
+}
+
+// adjustToCount is the first half of Algorithm 4.3: merge down / split up
+// until exactly nSeg segments remain.
+func (st *state) adjustToCount(nSeg int) {
+	for st.size() > nSeg {
+		st.mergePair(st.bestMergePair(false))
+	}
+	for st.size() < nSeg {
+		i := st.bestSplitSeg(false)
+		if i < 0 {
+			return // nothing splittable (n too small); keep fewer segments
+		}
+		st.splitSeg(i)
+	}
+	for i := range st.segs {
+		st.segs[i].split = false
+		st.segs[i].merged = false
+	}
+}
+
+// clone deep-copies the segmentation (the series and prefix are shared).
+func (st *state) clone() *state {
+	return &state{c: st.c, p: st.p, segs: append([]seg(nil), st.segs...)}
+}
+
+// refine is the second half of Algorithm 4.3: at size N, evaluate
+// split-then-merge (β^sm) and merge-then-split (β^ms) moves and apply the
+// better one while the sum upper bound β decreases. Marks ensure a segment
+// is split or merged at most once per refinement, bounding the loop.
+func (st *state) refine(maxPasses int) {
+	for pass := 0; pass < maxPasses; pass++ {
+		beta := st.totalBeta()
+
+		sm := st.clone()
+		okSM := sm.trySplitThenMerge()
+		ms := st.clone()
+		okMS := ms.tryMergeThenSplit()
+
+		bestBeta := beta
+		var best *state
+		if okSM && sm.totalBeta() < bestBeta-improveEps {
+			bestBeta, best = sm.totalBeta(), sm
+		}
+		if okMS && ms.totalBeta() < bestBeta-improveEps {
+			best = ms
+		}
+		if best == nil {
+			return
+		}
+		st.segs = best.segs
+	}
+}
+
+func (st *state) trySplitThenMerge() bool {
+	i := st.bestSplitSeg(true)
+	if i < 0 {
+		return false
+	}
+	st.splitSeg(i)
+	j := st.bestMergePair(true)
+	if j < 0 {
+		return false
+	}
+	st.mergePair(j)
+	return true
+}
+
+func (st *state) tryMergeThenSplit() bool {
+	j := st.bestMergePair(true)
+	if j < 0 {
+		return false
+	}
+	st.mergePair(j)
+	i := st.bestSplitSeg(true)
+	if i < 0 {
+		return false
+	}
+	st.splitSeg(i)
+	return true
+}
+
+// betaApprox is the cheap endpoint-sample bound used when a segment is refit
+// during endpoint movement (Section 4.4.1): the maximum absolute difference
+// between the original points and the new line at the segment's endpoints
+// and midpoint, times (l−1).
+func (st *state) betaApprox(lo, hi int, ln segment.Line) float64 {
+	if st.exact {
+		return segment.ExactMaxDeviation(st.c[lo:hi], ln)
+	}
+	l := hi - lo
+	ids := []int{0, (l - 1) / 4, (l - 1) / 2, 3 * (l - 1) / 4, l - 1}
+	pts := segment.SlicePoints(st.c[lo:hi])
+	lp := segment.LinePoints(ln)
+	m := segment.GetMax(ids, pts, lp, lp)
+	f := l - 1
+	if f < 1 {
+		f = 1
+	}
+	return m * float64(f)
+}
+
+// greedyBoundary greedily moves the boundary between segs[i] and segs[i+1]
+// one point at a time in direction dir (+1 grows the left segment) while the
+// pair's β sum strictly decreases (Algorithm 4.5). It returns the best cut
+// and the pair's β sum there.
+func (st *state) greedyBoundary(i, dir int) (bestCut int, bestSum float64) {
+	left, right := st.segs[i], st.segs[i+1]
+	cut := left.end
+	bestCut = cut
+	bestSum = left.beta + right.beta
+	for {
+		cut += dir
+		// Both segments keep at least 2 points (Algorithm 4.5's l ≥ 2).
+		if cut < left.start+1 || cut > right.end-2 {
+			break
+		}
+		lLine := st.fitRange(left.start, cut+1)
+		rLine := st.fitRange(cut+1, right.end+1)
+		sum := st.betaApprox(left.start, cut+1, lLine) + st.betaApprox(cut+1, right.end+1, rLine)
+		if sum < bestSum-improveEps {
+			bestCut, bestSum = cut, sum
+		} else {
+			break
+		}
+	}
+	return bestCut, bestSum
+}
+
+// applyBoundary refits the pair (i, i+1) with the boundary at cut.
+func (st *state) applyBoundary(i, cut int) {
+	left, right := &st.segs[i], &st.segs[i+1]
+	left.end = cut
+	right.start = cut + 1
+	left.line = st.fitRange(left.start, left.end+1)
+	right.line = st.fitRange(right.start, right.end+1)
+	left.beta = st.betaApprox(left.start, left.end+1, left.line)
+	right.beta = st.betaApprox(right.start, right.end+1, right.line)
+}
+
+// moveEndpoints is Algorithm 4.4: process segments in decreasing-β order;
+// for each, evaluate the four greedy boundary moves (β^a..β^d) and apply the
+// best improving one. It reports whether any move was applied.
+func (st *state) moveEndpoints() bool {
+	order := pqueue.NewMax[int]()
+	for i, g := range st.segs {
+		order.Push(g.beta, i)
+	}
+	movedAny := false
+	for order.Len() > 0 {
+		i := order.Pop().Value
+		type cand struct {
+			pair, cut int
+			sum       float64
+		}
+		var cands []cand
+		if i+1 < len(st.segs) {
+			ca, sa := st.greedyBoundary(i, +1) // β^a: grow right endpoint
+			cb, sb := st.greedyBoundary(i, -1) // β^b: shrink right endpoint
+			cands = append(cands, cand{i, ca, sa}, cand{i, cb, sb})
+		}
+		if i > 0 {
+			cc, sc := st.greedyBoundary(i-1, -1) // β^c: grow left endpoint
+			cd, sd := st.greedyBoundary(i-1, +1) // β^d: shrink left endpoint
+			cands = append(cands, cand{i - 1, cc, sc}, cand{i - 1, cd, sd})
+		}
+		best := -1
+		for k, cd := range cands {
+			cur := st.segs[cd.pair].beta + st.segs[cd.pair+1].beta
+			if cd.sum < cur-improveEps && (best < 0 || cd.sum < cands[best].sum) {
+				best = k
+			}
+		}
+		if best >= 0 {
+			cd := cands[best]
+			if cd.cut != st.segs[cd.pair].end {
+				st.applyBoundary(cd.pair, cd.cut)
+				movedAny = true
+			}
+		}
+	}
+	return movedAny
+}
+
+// toRepr converts the working segmentation to a repr.Linear.
+func (st *state) toRepr() repr.Linear {
+	out := repr.Linear{N: len(st.c), Segs: make([]repr.LinearSeg, len(st.segs))}
+	for i, g := range st.segs {
+		out.Segs[i] = repr.LinearSeg{Line: g.line, R: g.end}
+	}
+	return out
+}

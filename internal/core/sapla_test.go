@@ -1,0 +1,376 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sapla/internal/reduce"
+	"sapla/internal/repr"
+	"sapla/internal/ts"
+)
+
+// paperSeries is the 20-point worked example of Figures 1, 5, 6 and 8.
+var paperSeries = ts.Series{7, 8, 20, 15, 18, 8, 8, 15, 10, 1, 4, 3, 3, 5, 4, 9, 2, 9, 10, 10}
+
+func randWalk(seed int64, n int) ts.Series {
+	rng := rand.New(rand.NewSource(seed))
+	s := make(ts.Series, n)
+	var v float64
+	for i := range s {
+		v += rng.NormFloat64()
+		s[i] = v
+	}
+	return s
+}
+
+func maxDev(c ts.Series, r repr.Representation) float64 {
+	return ts.MaxDeviation(c, r.Reconstruct())
+}
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+// The paper's Section 4.2 example: initialization of the 20-point series
+// with M = 12 produces exactly the six segments
+// {⟨1,7,1⟩, ⟨−5,20,3⟩, ⟨−10,18,5⟩, ⟨7,8,7⟩, ⟨−9,10,9⟩, ⟨0.781818,2.38182,19⟩}.
+func TestPaperExampleInitialization(t *testing.T) {
+	init, _, _, err := New().ReduceStages(paperSeries, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		a, b float64
+		r    int
+	}{
+		{1, 7, 1}, {-5, 20, 3}, {-10, 18, 5}, {7, 8, 7}, {-9, 10, 9}, {0.781818, 2.38182, 19},
+	}
+	if len(init.Segs) != len(want) {
+		t.Fatalf("initialization produced %d segments, want %d: %+v", len(init.Segs), len(want), init.Segs)
+	}
+	for i, w := range want {
+		g := init.Segs[i]
+		if g.R != w.r || !almostEq(g.Line.A, w.a, 1e-5) || !almostEq(g.Line.B, w.b, 1e-5) {
+			t.Fatalf("segment %d = ⟨%v,%v,%d⟩, want ⟨%v,%v,%d⟩",
+				i, g.Line.A, g.Line.B, g.R, w.a, w.b, w.r)
+		}
+	}
+}
+
+// Figures 6 and 8: the split & merge iteration reaches the user-defined
+// N = 4 segments, and the endpoint-movement iteration can only improve (or
+// keep) the result. The paper reports max deviation 10.6061 after split &
+// merge and 9.27273 after endpoint movement; our search heuristics are the
+// paper's, so the final deviation should be in that neighbourhood.
+func TestPaperExampleStages(t *testing.T) {
+	init, afterSM, final, err := New().ReduceStages(paperSeries, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := init.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := afterSM.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := final.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(afterSM.Segs) != 4 || len(final.Segs) != 4 {
+		t.Fatalf("segments after SM = %d, final = %d, want 4", len(afterSM.Segs), len(final.Segs))
+	}
+	devSM := maxDev(paperSeries, afterSM)
+	devFinal := maxDev(paperSeries, final)
+	if devFinal > devSM+1e-9 {
+		t.Fatalf("endpoint movement worsened max deviation: %v → %v", devSM, devFinal)
+	}
+	// Paper ballpark: 10.6061 → 9.27273. Allow implementation slack but
+	// fail if we are far off the reported quality.
+	if devFinal > 12 {
+		t.Fatalf("final max deviation %v far from the paper's 9.27", devFinal)
+	}
+}
+
+func TestBudgetValidation(t *testing.T) {
+	c := randWalk(1, 64)
+	for _, m := range []int{0, 1, 2} {
+		if _, err := New().Reduce(c, m); !errors.Is(err, reduce.ErrBudget) {
+			t.Fatalf("M=%d: want ErrBudget, got %v", m, err)
+		}
+	}
+	// N segments of ≥2 points each cannot exceed n.
+	if _, err := New().Reduce(ts.Series{1, 2, 3}, 12); !errors.Is(err, reduce.ErrBudget) {
+		t.Fatalf("want ErrBudget for tiny series, got %v", err)
+	}
+	if _, err := New().Reduce(ts.Series{}, 12); err == nil {
+		t.Fatal("empty series accepted")
+	}
+	if _, err := New().Reduce(ts.Series{1, math.NaN(), 2, 3, 4, 5}, 6); err == nil {
+		t.Fatal("NaN series accepted")
+	}
+}
+
+func TestExactSegmentCount(t *testing.T) {
+	for _, n := range []int{16, 33, 100, 257, 1024} {
+		c := randWalk(int64(n), n)
+		for _, m := range []int{6, 12, 18, 24} {
+			if m/3*2 > n {
+				continue
+			}
+			rep, err := New().Reduce(c, m)
+			if err != nil {
+				t.Fatalf("n=%d m=%d: %v", n, m, err)
+			}
+			if got := rep.Segments(); got != m/3 {
+				t.Fatalf("n=%d m=%d: segments = %d, want %d", n, m, got, m/3)
+			}
+			if err := rep.(repr.Linear).Validate(); err != nil {
+				t.Fatalf("n=%d m=%d: %v", n, m, err)
+			}
+		}
+	}
+}
+
+func TestSingleSegment(t *testing.T) {
+	c := randWalk(2, 50)
+	rep, err := New().Reduce(c, 3) // N = 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Segments() != 1 {
+		t.Fatalf("segments = %d", rep.Segments())
+	}
+	// The single segment must be the global least-squares fit.
+	lin := rep.(repr.Linear)
+	want := repr.FitLinear(c, []int{len(c) - 1})
+	if !almostEq(lin.Segs[0].Line.A, want.Segs[0].Line.A, 1e-9) {
+		t.Fatal("single segment is not the global fit")
+	}
+}
+
+func TestPerfectPiecewiseLinear(t *testing.T) {
+	// Two exact linear pieces: SAPLA with N=2 should reconstruct (near)
+	// exactly because every stage can only reduce the bound.
+	c := make(ts.Series, 60)
+	for i := 0; i < 30; i++ {
+		c[i] = 2 * float64(i)
+	}
+	for i := 30; i < 60; i++ {
+		c[i] = 60 - float64(i-30)
+	}
+	rep, err := New().Reduce(c, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDev(c, rep); d > 1.0 {
+		t.Fatalf("max deviation %v on a perfect 2-piece series", d)
+	}
+}
+
+func TestMinimumLengthSeries(t *testing.T) {
+	// n = 2N exactly: every segment has 2 points, reconstruction is exact.
+	c := ts.Series{5, 1, 9, 2, 8, 3, 7, 4}
+	rep, err := New().Reduce(c, 12) // N = 4, n = 8
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Segments() != 4 {
+		t.Fatalf("segments = %d", rep.Segments())
+	}
+	if d := maxDev(c, rep); d > 1e-9 {
+		t.Fatalf("2-point segments should interpolate exactly, dev %v", d)
+	}
+}
+
+func TestConstantSeries(t *testing.T) {
+	c := make(ts.Series, 40)
+	for i := range c {
+		c[i] = 3.5
+	}
+	rep, err := New().Reduce(c, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDev(c, rep); d > 1e-9 {
+		t.Fatalf("constant series should be exact, dev %v", d)
+	}
+}
+
+// SAPLA's goal (Figure 12a): close to APLA's max deviation, far better than
+// the same-budget PLA cut on structured series, at a fraction of APLA's time.
+func TestQualityVsBaselines(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		c := randWalk(seed, 256)
+		sp, err := New().Reduce(c, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apla, err := reduce.NewAPLA().Reduce(c, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dSAPLA := maxDev(c, sp)
+		dAPLA := maxDev(c, apla)
+		// SAPLA sacrifices "little" max deviation vs the optimal DP; allow
+		// a generous factor while catching gross regressions.
+		if dSAPLA > 3*dAPLA+1e-9 {
+			t.Fatalf("seed %d: SAPLA dev %v vs APLA dev %v (> 3×)", seed, dSAPLA, dAPLA)
+		}
+	}
+}
+
+func TestStagesMonotoneBound(t *testing.T) {
+	// Each stage must not make the *sum upper bound* worse; empirically the
+	// exact max deviation rarely gets worse either — here we assert the
+	// final stage never loses to split&merge output on these seeds.
+	for seed := int64(0); seed < 20; seed++ {
+		c := randWalk(seed+100, 200)
+		_, afterSM, final, err := New().ReduceStages(c, 18)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if maxDev(c, final) > maxDev(c, afterSM)*1.5+1e-9 {
+			t.Fatalf("seed %d: endpoint movement regressed badly: %v → %v",
+				seed, maxDev(c, afterSM), maxDev(c, final))
+		}
+	}
+}
+
+func TestAblationFlags(t *testing.T) {
+	c := randWalk(7, 300)
+	full, err := New().Reduce(c, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noMove, err := (&SAPLA{SkipEndpointMove: true}).Reduce(c, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noRefine, err := (&SAPLA{SkipRefine: true}).Reduce(c, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []repr.Representation{full, noMove, noRefine} {
+		if r.Segments() != 5 {
+			t.Fatalf("segments = %d", r.Segments())
+		}
+	}
+}
+
+// ExactBounds mode: structurally identical output contract, and its final
+// sum of per-segment max deviations must on average be at least as good as
+// the conditional-bound mode (it optimises the true objective directly).
+func TestExactBoundsMode(t *testing.T) {
+	var exactSum, approxSum float64
+	for seed := int64(0); seed < 15; seed++ {
+		c := randWalk(seed+500, 300)
+		exactRep, err := (&SAPLA{ExactBounds: true}).Reduce(c, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approxRep, err := New().Reduce(c, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exactRep.Segments() != 4 {
+			t.Fatalf("segments = %d", exactRep.Segments())
+		}
+		if err := exactRep.(repr.Linear).Validate(); err != nil {
+			t.Fatal(err)
+		}
+		sumSeg := func(rep repr.Representation) float64 {
+			lin := rep.(repr.Linear)
+			rec := lin.Reconstruct()
+			var sum float64
+			start := 0
+			for _, s := range lin.Segs {
+				var m float64
+				for t2 := start; t2 <= s.R; t2++ {
+					if d := math.Abs(c[t2] - rec[t2]); d > m {
+						m = d
+					}
+				}
+				sum += m
+				start = s.R + 1
+			}
+			return sum
+		}
+		exactSum += sumSeg(exactRep)
+		approxSum += sumSeg(approxRep)
+	}
+	if exactSum > approxSum*1.05 {
+		t.Fatalf("ExactBounds mean sum-seg dev %v worse than conditional %v", exactSum, approxSum)
+	}
+}
+
+// Property: on arbitrary random-walk series and budgets the result is a
+// structurally valid segmentation with exactly N segments covering [0, n).
+func TestStructuralInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(300)
+		c := randWalk(seed, n)
+		m := 3 * (1 + rng.Intn(8))
+		if m/3*2 > n {
+			m = 6
+		}
+		rep, err := New().Reduce(c, m)
+		if err != nil {
+			return false
+		}
+		lin := rep.(repr.Linear)
+		if lin.Validate() != nil || lin.Segments() != m/3 {
+			return false
+		}
+		// Every segment covers at least one point and fits are finite.
+		for i := range lin.Segs {
+			if lin.SegLen(i) < 1 ||
+				math.IsNaN(lin.Segs[i].Line.A) || math.IsNaN(lin.Segs[i].Line.B) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SAPLA is deterministic.
+func TestDeterministic(t *testing.T) {
+	c := randWalk(42, 400)
+	a, err := New().Reduce(c, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New().Reduce(c, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, cb := a.Coeffs(), b.Coeffs()
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatal("non-deterministic result")
+		}
+	}
+}
+
+func TestNoisySeriesAllBudgets(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c := make(ts.Series, 150)
+	for i := range c {
+		c[i] = rng.NormFloat64() * 5
+	}
+	for _, m := range []int{3, 6, 9, 12, 18, 24, 30} {
+		rep, err := New().Reduce(c, m)
+		if err != nil {
+			t.Fatalf("M=%d: %v", m, err)
+		}
+		if rep.Segments() != m/3 {
+			t.Fatalf("M=%d: segments = %d", m, rep.Segments())
+		}
+	}
+}

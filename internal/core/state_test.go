@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sapla/internal/segment"
+)
+
+// checkState verifies the structural invariants of a working segmentation:
+// contiguous coverage of [0, n), least-squares fits per segment, and
+// non-negative bounds.
+func checkState(t *testing.T, st *state) {
+	t.Helper()
+	if len(st.segs) == 0 {
+		t.Fatal("empty state")
+	}
+	next := 0
+	for i, g := range st.segs {
+		if g.start != next {
+			t.Fatalf("segment %d starts at %d, want %d", i, g.start, next)
+		}
+		if g.end < g.start {
+			t.Fatalf("segment %d inverted: [%d,%d]", i, g.start, g.end)
+		}
+		if g.beta < 0 || math.IsNaN(g.beta) {
+			t.Fatalf("segment %d beta = %v", i, g.beta)
+		}
+		want := segment.FitSlice(st.c[g.start : g.end+1])
+		if math.Abs(g.line.A-want.A) > 1e-6*(1+math.Abs(want.A)) ||
+			math.Abs(g.line.B-want.B) > 1e-6*(1+math.Abs(want.B)) {
+			t.Fatalf("segment %d line %+v is not the least-squares fit %+v", i, g.line, want)
+		}
+		next = g.end + 1
+	}
+	if next != len(st.c) {
+		t.Fatalf("segments cover [0,%d), series has %d points", next, len(st.c))
+	}
+}
+
+func TestStateInvariantsUnderRandomOps(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c := randWalk(seed+2000, 120+rng.Intn(200))
+		st := initialize(c, 6)
+		checkState(t, st)
+		for op := 0; op < 40; op++ {
+			switch {
+			case rng.Intn(2) == 0 && st.size() > 1:
+				st.mergePair(rng.Intn(st.size() - 1))
+			default:
+				// Split a random splittable segment, if any.
+				cands := make([]int, 0, st.size())
+				for i, g := range st.segs {
+					if g.len() >= 2 {
+						cands = append(cands, i)
+					}
+				}
+				if len(cands) == 0 {
+					continue
+				}
+				st.splitSeg(cands[rng.Intn(len(cands))])
+			}
+			checkState(t, st)
+		}
+	}
+}
+
+func TestAdjustToCountFromAnyState(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		c := randWalk(seed+3000, 150)
+		for _, target := range []int{1, 2, 5, 10, 30} {
+			st := initialize(c, 4)
+			st.adjustToCount(target)
+			checkState(t, st)
+			if st.size() != target {
+				t.Fatalf("seed %d: size %d, want %d", seed, st.size(), target)
+			}
+		}
+	}
+}
+
+func TestMergeAreaMatchesDefinition(t *testing.T) {
+	c := randWalk(4000, 100)
+	st := initialize(c, 5)
+	for i := 0; i+1 < st.size(); i++ {
+		a, b := st.segs[i], st.segs[i+1]
+		merged := segment.Merge(a.line, a.len(), b.line, b.len())
+		want := segment.ReconstructionArea(merged, a.line, a.len(), b.line, b.len())
+		if got := st.mergeArea(i); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("pair %d: mergeArea %v != %v", i, got, want)
+		}
+	}
+}
+
+func TestGreedyBoundaryRespectsLimits(t *testing.T) {
+	c := randWalk(5000, 200)
+	st := initialize(c, 4)
+	st.adjustToCount(4)
+	for i := 0; i+1 < st.size(); i++ {
+		for _, dir := range []int{+1, -1} {
+			cut, _ := st.greedyBoundary(i, dir)
+			left, right := st.segs[i], st.segs[i+1]
+			if cut < left.start+1 && cut != left.end {
+				t.Fatalf("cut %d leaves left segment under 2 points", cut)
+			}
+			if cut > right.end-2 && cut != left.end {
+				t.Fatalf("cut %d leaves right segment under 2 points", cut)
+			}
+		}
+	}
+}
+
+func TestMoveEndpointsNeverIncreasesTotalBeta(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		c := randWalk(seed+6000, 250)
+		st := initialize(c, 5)
+		st.adjustToCount(5)
+		// Normalise betas to the movement bound so the comparison is
+		// apples-to-apples.
+		for i := range st.segs {
+			g := &st.segs[i]
+			g.beta = st.betaApprox(g.start, g.end+1, g.line)
+		}
+		before := st.totalBeta()
+		st.moveEndpoints()
+		after := st.totalBeta()
+		if after > before+1e-9 {
+			t.Fatalf("seed %d: endpoint movement raised β: %v → %v", seed, before, after)
+		}
+		checkState(t, st)
+	}
+}
+
+func TestToReprMatchesState(t *testing.T) {
+	c := randWalk(7000, 90)
+	st := initialize(c, 4)
+	rep := st.toRepr()
+	if rep.N != len(c) || rep.Segments() != st.size() {
+		t.Fatalf("toRepr shape mismatch")
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

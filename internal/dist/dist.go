@@ -1,0 +1,204 @@
+// Package dist implements the distance measures of Section 5: the paper's
+// Dist_PAR (Definition 5.1, lower-bounding and tight for adaptive-length
+// representations), the APCA-style Dist_LB (guaranteed lower bound via
+// projection onto the stored representation's endpoints) and Dist_AE (tight
+// approximation with no lower-bound guarantee), plus the per-method
+// lower-bounding measures of the equal-length baselines (Dist_PLA, Dist_PAA,
+// SAX MINDIST, Dist_CHEBY).
+package dist
+
+import (
+	"errors"
+	"math"
+
+	"sapla/internal/repr"
+	"sapla/internal/segment"
+	"sapla/internal/ts"
+)
+
+// ErrIncompatible is returned when two representations cannot be compared
+// (different original lengths or incompatible segmentations).
+var ErrIncompatible = errors.New("dist: incompatible representations")
+
+// PAR is the paper's Dist_PAR (Definition 5.1): partition both adaptive
+// linear representations to the union R of their right endpoints — each
+// sub-segment is the restriction of its parent's line, so the reconstructed
+// series are unchanged — then sum the closed-form squared line distance
+// Dist_S (Eq. 12) over the aligned sub-segments. O(N_q + N_c).
+func PAR(q, c repr.Linear) (float64, error) {
+	if q.N != c.N || len(q.Segs) == 0 || len(c.Segs) == 0 {
+		return 0, ErrIncompatible
+	}
+	var sum float64
+	iq, ic := 0, 0
+	lo := 0
+	for lo < q.N {
+		rq, rc := q.Segs[iq].R, c.Segs[ic].R
+		hi := rq
+		if rc < hi {
+			hi = rc
+		}
+		l := hi - lo + 1
+		qln := q.Segs[iq].Line.Shift(lo - q.Start(iq))
+		cln := c.Segs[ic].Line.Shift(lo - c.Start(ic))
+		sum += segment.DistS(qln, cln, l)
+		if rq == hi {
+			iq++
+		}
+		if rc == hi {
+			ic++
+		}
+		lo = hi + 1
+	}
+	return math.Sqrt(sum), nil
+}
+
+// LB is the APCA-style Dist_LB generalised to linear segments: the raw query
+// is projected (least-squares fitted) onto the stored representation's own
+// endpoints and the projected representations are compared with Dist_S.
+// Because both sides live in the same projection subspace and projections
+// are non-expansive, LB provably lower-bounds the Euclidean distance
+// (Section A.5). O(N) given the query's prefix sums.
+func LB(q *ts.Prefix, c repr.Linear) (float64, error) {
+	if q.Len() != c.N || len(c.Segs) == 0 {
+		return 0, ErrIncompatible
+	}
+	var sum float64
+	start := 0
+	for _, s := range c.Segs {
+		l := s.R - start + 1
+		qln := segment.FitWindow(q, start, s.R+1)
+		sum += segment.DistS(qln, s.Line, l)
+		start = s.R + 1
+	}
+	return math.Sqrt(sum), nil
+}
+
+// LBConst is Dist_LB for piecewise-constant (APCA) representations: the
+// query window means are compared against the stored constants, the original
+// Keogh et al. formulation.
+func LBConst(q *ts.Prefix, c repr.Constant) (float64, error) {
+	if q.Len() != c.N || len(c.Segs) == 0 {
+		return 0, ErrIncompatible
+	}
+	var sum float64
+	start := 0
+	for _, s := range c.Segs {
+		l := float64(s.R - start + 1)
+		mean := q.Sum(start, s.R+1) / l
+		d := mean - s.V
+		sum += l * d * d
+		start = s.R + 1
+	}
+	return math.Sqrt(sum), nil
+}
+
+// AE is the APCA-style Dist_AE generalised to any representation: the
+// Euclidean distance between the raw query and the stored representation's
+// reconstruction. Tight, but with no lower-bound guarantee. O(n).
+func AE(q ts.Series, c repr.Representation) (float64, error) {
+	rec := c.Reconstruct()
+	if len(q) != len(rec) {
+		return 0, ErrIncompatible
+	}
+	return math.Sqrt(ts.EuclideanSq(q, rec)), nil
+}
+
+// PLA is Dist_PLA (Chen et al.): the exact Euclidean distance between two
+// piecewise-linear reconstructions over a COMMON segmentation, computed per
+// segment in closed form. Both representations must share all endpoints.
+func PLA(q, c repr.Linear) (float64, error) {
+	if q.N != c.N || len(q.Segs) != len(c.Segs) {
+		return 0, ErrIncompatible
+	}
+	var sum float64
+	for i := range q.Segs {
+		if q.Segs[i].R != c.Segs[i].R {
+			return 0, ErrIncompatible
+		}
+		sum += segment.DistS(q.Segs[i].Line, c.Segs[i].Line, q.SegLen(i))
+	}
+	return math.Sqrt(sum), nil
+}
+
+// PAA is Dist_PAA (Keogh et al.): sqrt(Σ lᵢ·(q̄ᵢ − c̄ᵢ)²) over equal frames.
+// Lower-bounds the Euclidean distance when the values are frame means.
+func PAA(q, c repr.PAA) (float64, error) {
+	if q.N != c.N || len(q.Values) != len(c.Values) {
+		return 0, ErrIncompatible
+	}
+	var sum float64
+	for i := range q.Values {
+		lo, hi := repr.FrameBounds(q.N, len(q.Values), i)
+		d := q.Values[i] - c.Values[i]
+		sum += float64(hi-lo) * d * d
+	}
+	return math.Sqrt(sum), nil
+}
+
+// SAXMinDist is the SAX MINDIST of Lin et al.: sqrt(n/N · Σ cell(qᵢ, cᵢ)²)
+// on the z-normalised scale, rescaled by the geometric mean of the two
+// series' deviations so it is comparable with raw-scale distances (for
+// z-normalised datasets the factor is 1 and this is the textbook MINDIST,
+// which lower-bounds the Euclidean distance).
+func SAXMinDist(q, c repr.Word) (float64, error) {
+	if q.N != c.N || len(q.Symbols) != len(c.Symbols) || q.Alphabet != c.Alphabet {
+		return 0, ErrIncompatible
+	}
+	bp := repr.Breakpoints(q.Alphabet)
+	var sum float64
+	for i := range q.Symbols {
+		d := cellDist(bp, q.Symbols[i], c.Symbols[i])
+		sum += d * d
+	}
+	scale := math.Sqrt(math.Max(q.Sigma, 0) * math.Max(c.Sigma, 0))
+	if q.Sigma == 0 && c.Sigma == 0 {
+		scale = 1
+	}
+	n := float64(q.N)
+	w := n / float64(len(q.Symbols))
+	return math.Sqrt(w*sum) * scale, nil
+}
+
+// cellDist is the SAX lookup-table distance between two symbols.
+func cellDist(bp []float64, a, b int) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	if b-a <= 1 {
+		return 0
+	}
+	return bp[b-1] - bp[a]
+}
+
+// Cheby is Dist_CHEBY (Cai & Ng): the coefficient-space distance under the
+// discrete Chebyshev-node orthogonality, n·Δc₀² + (n/2)·Σ_{j≥1} Δcⱼ².
+// An O(M) approximation of the Euclidean distance between the two truncated
+// expansions.
+func Cheby(q, c repr.Cheby) (float64, error) {
+	if q.N != c.N || len(q.Coefs) != len(c.Coefs) {
+		return 0, ErrIncompatible
+	}
+	n := float64(q.N)
+	d0 := q.Coefs[0] - c.Coefs[0]
+	sum := n * d0 * d0
+	for j := 1; j < len(q.Coefs); j++ {
+		d := q.Coefs[j] - c.Coefs[j]
+		sum += n / 2 * d * d
+	}
+	return math.Sqrt(sum), nil
+}
+
+// AsLinear converts any adaptive representation to repr.Linear for the
+// adaptive-length measures, returning false for representations that are
+// neither linear nor constant.
+func AsLinear(r repr.Representation) (repr.Linear, bool) {
+	switch v := r.(type) {
+	case repr.Linear:
+		return v, true
+	case repr.Constant:
+		return v.ToLinear(), true
+	default:
+		return repr.Linear{}, false
+	}
+}

@@ -1,0 +1,93 @@
+package eval
+
+import (
+	"sync"
+
+	"sapla/internal/mining"
+	"sapla/internal/ucr"
+)
+
+// ClassificationRow is one method's k-NN classification quality over the
+// archive — the paper's motivating application (Section 1: "k-Nearest
+// Neighbor is popularly used for classification").
+type ClassificationRow struct {
+	Method   string
+	K        int
+	Accuracy float64 // mean over datasets
+	MeanRho  float64 // mean pruning power of the classification queries
+	Datasets int
+}
+
+// ClassificationExperiment trains a k-NN classifier per method on every
+// dataset's stored series and classifies the held-out queries.
+func ClassificationExperiment(opt Options, m, k int) ([]ClassificationRow, error) {
+	methods := opt.Methods()
+	type acc struct {
+		accSum, rhoSum float64
+		datasets       int
+	}
+	accs := make([]acc, len(methods))
+	var mu sync.Mutex
+	var firstErr error
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for _, d := range opt.Datasets {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(d ucr.Source) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			train, test := d.Generate(opt.Cfg)
+			if len(test) == 0 {
+				return
+			}
+			for mi, meth := range methods {
+				clf, err := mining.NewClassifier(meth, m, k)
+				if err == nil {
+					err = clf.Train(train)
+				}
+				var accuracy, rho float64
+				if err == nil {
+					accuracy, rho, err = clf.Evaluate(test)
+				}
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				accs[mi].accSum += accuracy
+				accs[mi].rhoSum += rho
+				accs[mi].datasets++
+				mu.Unlock()
+			}
+		}(d)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	rows := make([]ClassificationRow, 0, len(methods))
+	for mi, meth := range methods {
+		a := accs[mi]
+		if a.datasets == 0 {
+			continue
+		}
+		rows = append(rows, ClassificationRow{
+			Method:   meth.Name(),
+			K:        k,
+			Accuracy: a.accSum / float64(a.datasets),
+			MeanRho:  a.rhoSum / float64(a.datasets),
+			Datasets: a.datasets,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,282 @@
+package eval
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"sapla/internal/dist"
+	"sapla/internal/index"
+	"sapla/internal/ts"
+)
+
+// Tree names as reported in the figures.
+const (
+	TreeR      = "R-tree"
+	TreeDBCH   = "DBCH-tree"
+	TreeLinear = "LinearScan"
+)
+
+// IndexRow is one method × tree cell of Figures 13–16: pruning power ρ
+// (Eq. 14) and accuracy (Eq. 15) averaged over datasets, queries and K;
+// ingest and k-NN CPU time; and mean tree shape.
+type IndexRow struct {
+	Method       string
+	Tree         string
+	PruningPower float64
+	Accuracy     float64
+	ReduceTime   time.Duration // per dataset: reducing all series (shared by both trees)
+	IngestTime   time.Duration // per dataset: tree construction only
+	KNNTime      time.Duration // per query (averaged over K)
+	Internal     float64       // mean internal nodes per tree
+	Leaf         float64       // mean leaf nodes per tree
+	Height       float64
+	Queries      int
+}
+
+// TotalIngest is the paper's Figure 14a quantity: reduction plus tree build.
+func (r IndexRow) TotalIngest() time.Duration { return r.ReduceTime + r.IngestTime }
+
+// IndexExperiment regenerates Figures 13, 14, 15 and 16 at one coefficient
+// budget M: for every dataset and method it builds an R-tree and a
+// DBCH-tree, runs every query at every K through both (plus the linear
+// scan), and aggregates pruning power, accuracy, times and tree shapes.
+func IndexExperiment(opt Options, m int) ([]IndexRow, error) {
+	methods := opt.Methods()
+	type acc struct {
+		rho, accSum          float64
+		reduce, ingest, knnT time.Duration
+		internal             float64
+		leaf                 float64
+		height               float64
+		trees                int
+		queries              int
+	}
+	// [method][tree 0=R,1=DBCH] plus one linear-scan accumulator.
+	accs := make([][2]acc, len(methods))
+	var linear acc
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	forEachDataset(opt, func(data, queries []ts.Series) {
+		if len(data) == 0 {
+			return
+		}
+		// Ground truth per query for the largest K (prefix gives smaller K).
+		maxK := 0
+		for _, k := range opt.Ks {
+			if k > maxK {
+				maxK = k
+			}
+		}
+		truth := make([][]int, len(queries))
+		for qi, q := range queries {
+			truth[qi] = exactKNNIDs(data, q, maxK)
+		}
+
+		local := make([][2]acc, len(methods))
+		var localLinear acc
+
+		// Linear scan baseline timing (method-independent).
+		scan := index.NewLinearScan()
+		for id, c := range data {
+			if err := scan.Insert(index.NewEntry(id, c, nil)); err != nil {
+				fail(err)
+				return
+			}
+		}
+		for _, q := range queries {
+			for range opt.Ks {
+				startT := time.Now()
+				_, st, err := scan.KNN(dist.Query{Raw: q}, maxK)
+				if err != nil {
+					fail(err)
+					return
+				}
+				localLinear.knnT += time.Since(startT)
+				localLinear.rho += float64(st.Measured) / float64(len(data))
+				localLinear.accSum += 1
+				localLinear.queries++
+			}
+		}
+
+		for mi, meth := range methods {
+			// Reduce all series once (the dominant share of Figure 14a).
+			entries := make([]*index.Entry, len(data))
+			startReduce := time.Now()
+			for id, c := range data {
+				rep, err := meth.Reduce(c, m)
+				if err != nil {
+					fail(err)
+					return
+				}
+				entries[id] = index.NewEntry(id, c, rep)
+			}
+			reduceElapsed := time.Since(startReduce)
+			local[mi][0].reduce += reduceElapsed
+			local[mi][1].reduce += reduceElapsed
+			rt, err := index.NewRTree(meth.Name(), opt.Cfg.Length, m, opt.MinFill, opt.MaxFill)
+			if err != nil {
+				fail(err)
+				return
+			}
+			db, err := index.NewDBCH(meth.Name(), opt.MinFill, opt.MaxFill)
+			if err != nil {
+				fail(err)
+				return
+			}
+			trees := []struct {
+				idx   index.Index
+				stats func() index.TreeStats
+				slot  int
+			}{
+				{rt, rt.Stats, 0},
+				{db, db.Stats, 1},
+			}
+			for _, tr := range trees {
+				startT := time.Now()
+				for _, e := range entries {
+					if err := tr.idx.Insert(e); err != nil {
+						fail(err)
+						return
+					}
+				}
+				a := &local[mi][tr.slot]
+				a.ingest += time.Since(startT)
+				st := tr.stats()
+				a.internal += float64(st.InternalNodes)
+				a.leaf += float64(st.LeafNodes)
+				a.height += float64(st.Height)
+				a.trees++
+			}
+			for qi, q := range queries {
+				qrep, err := meth.Reduce(q, m)
+				if err != nil {
+					fail(err)
+					return
+				}
+				query := dist.NewQuery(q, qrep)
+				for _, k := range opt.Ks {
+					if k > len(data) {
+						k = len(data)
+					}
+					for _, tr := range trees {
+						startT := time.Now()
+						res, st, err := tr.idx.KNN(query, k)
+						if err != nil {
+							fail(err)
+							return
+						}
+						el := time.Since(startT)
+						a := &local[mi][tr.slot]
+						a.knnT += el
+						a.rho += float64(st.Measured) / float64(len(data))
+						a.accSum += overlapCount(res, truth[qi][:k]) / float64(k)
+						a.queries++
+					}
+				}
+			}
+		}
+
+		mu.Lock()
+		for mi := range accs {
+			for s := 0; s < 2; s++ {
+				accs[mi][s].rho += local[mi][s].rho
+				accs[mi][s].accSum += local[mi][s].accSum
+				accs[mi][s].reduce += local[mi][s].reduce
+				accs[mi][s].ingest += local[mi][s].ingest
+				accs[mi][s].knnT += local[mi][s].knnT
+				accs[mi][s].internal += local[mi][s].internal
+				accs[mi][s].leaf += local[mi][s].leaf
+				accs[mi][s].height += local[mi][s].height
+				accs[mi][s].trees += local[mi][s].trees
+				accs[mi][s].queries += local[mi][s].queries
+			}
+		}
+		linear.knnT += localLinear.knnT
+		linear.rho += localLinear.rho
+		linear.accSum += localLinear.accSum
+		linear.queries += localLinear.queries
+		mu.Unlock()
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	var rows []IndexRow
+	for mi, meth := range methods {
+		for s, tree := range []string{TreeR, TreeDBCH} {
+			a := accs[mi][s]
+			if a.queries == 0 {
+				continue
+			}
+			rows = append(rows, IndexRow{
+				Method:       meth.Name(),
+				Tree:         tree,
+				PruningPower: a.rho / float64(a.queries),
+				Accuracy:     a.accSum / float64(a.queries),
+				ReduceTime:   a.reduce / time.Duration(a.trees),
+				IngestTime:   a.ingest / time.Duration(a.trees),
+				KNNTime:      a.knnT / time.Duration(a.queries),
+				Internal:     a.internal / float64(a.trees),
+				Leaf:         a.leaf / float64(a.trees),
+				Height:       a.height / float64(a.trees),
+				Queries:      a.queries,
+			})
+		}
+	}
+	if linear.queries > 0 {
+		rows = append(rows, IndexRow{
+			Method:       "Euclidean",
+			Tree:         TreeLinear,
+			PruningPower: linear.rho / float64(linear.queries),
+			Accuracy:     linear.accSum / float64(linear.queries),
+			KNNTime:      linear.knnT / time.Duration(linear.queries),
+			Queries:      linear.queries,
+		})
+	}
+	return rows, nil
+}
+
+// exactKNNIDs returns the ids of the k exact nearest neighbours of q.
+func exactKNNIDs(data []ts.Series, q ts.Series, k int) []int {
+	type pair struct {
+		id int
+		d  float64
+	}
+	ps := make([]pair, len(data))
+	for i, c := range data {
+		ps[i] = pair{i, ts.EuclideanSq(q, c)}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].d < ps[j].d })
+	if k > len(ps) {
+		k = len(ps)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = ps[i].id
+	}
+	return out
+}
+
+// overlapCount counts how many results are true nearest neighbours.
+func overlapCount(res []index.Result, truth []int) float64 {
+	set := make(map[int]bool, len(truth))
+	for _, id := range truth {
+		set[id] = true
+	}
+	var n float64
+	for _, r := range res {
+		if set[r.Entry.ID] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,96 @@
+package eval
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"sapla/internal/ts"
+	"sapla/internal/ucr"
+)
+
+// DatasetRow is one (dataset, method) cell of the per-dataset breakdown the
+// paper defers to its technical report: reduction quality and time measured
+// on that dataset alone.
+type DatasetRow struct {
+	Dataset      string
+	Method       string
+	M            int
+	MaxDev       float64
+	SumSegMaxDev float64
+	Time         time.Duration
+}
+
+// ReductionByDataset runs the Figure 12 measurement per dataset instead of
+// aggregated, at a single coefficient budget m. Rows are sorted by dataset
+// then method order.
+func ReductionByDataset(opt Options, m int) ([]DatasetRow, error) {
+	methods := opt.Methods()
+	names := opt.MethodNames()
+	order := map[string]int{}
+	for i, n := range names {
+		order[n] = i
+	}
+	var mu sync.Mutex
+	var rows []DatasetRow
+	var firstErr error
+
+	var wg sync.WaitGroup
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	sem := make(chan struct{}, workers)
+	for _, d := range opt.Datasets {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(d ucr.Source) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			insts, _ := d.Generate(opt.Cfg)
+			local := make([]DatasetRow, 0, len(methods))
+			for _, meth := range methods {
+				var dev, segDev float64
+				var elapsed time.Duration
+				for _, inst := range insts {
+					startT := time.Now()
+					rep, err := meth.Reduce(inst.Values, m)
+					elapsed += time.Since(startT)
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					dev += ts.MaxDeviation(inst.Values, rep.Reconstruct())
+					segDev += SumSegMaxDev(inst.Values, rep)
+				}
+				n := float64(len(insts))
+				local = append(local, DatasetRow{
+					Dataset:      d.DatasetName(),
+					Method:       meth.Name(),
+					M:            m,
+					MaxDev:       dev / n,
+					SumSegMaxDev: segDev / n,
+					Time:         elapsed / time.Duration(len(insts)),
+				})
+			}
+			mu.Lock()
+			rows = append(rows, local...)
+			mu.Unlock()
+		}(d)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Dataset != rows[j].Dataset {
+			return rows[i].Dataset < rows[j].Dataset
+		}
+		return order[rows[i].Method] < order[rows[j].Method]
+	})
+	return rows, nil
+}

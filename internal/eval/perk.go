@@ -1,0 +1,156 @@
+package eval
+
+import (
+	"sync"
+
+	"sapla/internal/dist"
+	"sapla/internal/index"
+	"sapla/internal/ts"
+)
+
+// KRow is one (method, tree, K) point of the K-sweep behind Figure 13: how
+// pruning power and accuracy respond to the neighbourhood size.
+type KRow struct {
+	Method       string
+	Tree         string
+	K            int
+	PruningPower float64
+	Accuracy     float64
+	Queries      int
+}
+
+// IndexByK runs the index experiment and reports pruning power and accuracy
+// separately per K instead of aggregated.
+func IndexByK(opt Options, m int) ([]KRow, error) {
+	methods := opt.Methods()
+	type acc struct {
+		rho, accSum float64
+		queries     int
+	}
+	// [method][tree][kIdx]
+	accs := make([][2][]acc, len(methods))
+	for i := range accs {
+		accs[i][0] = make([]acc, len(opt.Ks))
+		accs[i][1] = make([]acc, len(opt.Ks))
+	}
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	forEachDataset(opt, func(data, queries []ts.Series) {
+		if len(data) == 0 {
+			return
+		}
+		maxK := 0
+		for _, k := range opt.Ks {
+			if k > maxK {
+				maxK = k
+			}
+		}
+		truth := make([][]int, len(queries))
+		for qi, q := range queries {
+			truth[qi] = exactKNNIDs(data, q, maxK)
+		}
+		local := make([][2][]acc, len(methods))
+		for i := range local {
+			local[i][0] = make([]acc, len(opt.Ks))
+			local[i][1] = make([]acc, len(opt.Ks))
+		}
+		for mi, meth := range methods {
+			entries := make([]*index.Entry, len(data))
+			for id, c := range data {
+				rep, err := meth.Reduce(c, m)
+				if err != nil {
+					fail(err)
+					return
+				}
+				entries[id] = index.NewEntry(id, c, rep)
+			}
+			rt, err := index.NewRTree(meth.Name(), opt.Cfg.Length, m, opt.MinFill, opt.MaxFill)
+			if err != nil {
+				fail(err)
+				return
+			}
+			db, err := index.NewDBCH(meth.Name(), opt.MinFill, opt.MaxFill)
+			if err != nil {
+				fail(err)
+				return
+			}
+			for _, e := range entries {
+				if err := rt.Insert(e); err != nil {
+					fail(err)
+					return
+				}
+				if err := db.Insert(e); err != nil {
+					fail(err)
+					return
+				}
+			}
+			for qi, q := range queries {
+				rep, err := meth.Reduce(q, m)
+				if err != nil {
+					fail(err)
+					return
+				}
+				query := dist.NewQuery(q, rep)
+				for ki, k := range opt.Ks {
+					if k > len(data) {
+						k = len(data)
+					}
+					for slot, idx := range []index.Index{rt, db} {
+						res, st, err := idx.KNN(query, k)
+						if err != nil {
+							fail(err)
+							return
+						}
+						a := &local[mi][slot][ki]
+						a.rho += float64(st.Measured) / float64(len(data))
+						a.accSum += overlapCount(res, truth[qi][:k]) / float64(k)
+						a.queries++
+					}
+				}
+			}
+		}
+		mu.Lock()
+		for mi := range accs {
+			for slot := 0; slot < 2; slot++ {
+				for ki := range accs[mi][slot] {
+					accs[mi][slot][ki].rho += local[mi][slot][ki].rho
+					accs[mi][slot][ki].accSum += local[mi][slot][ki].accSum
+					accs[mi][slot][ki].queries += local[mi][slot][ki].queries
+				}
+			}
+		}
+		mu.Unlock()
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	var rows []KRow
+	for mi, meth := range methods {
+		for slot, tree := range []string{TreeR, TreeDBCH} {
+			for ki, k := range opt.Ks {
+				a := accs[mi][slot][ki]
+				if a.queries == 0 {
+					continue
+				}
+				rows = append(rows, KRow{
+					Method:       meth.Name(),
+					Tree:         tree,
+					K:            k,
+					PruningPower: a.rho / float64(a.queries),
+					Accuracy:     a.accSum / float64(a.queries),
+					Queries:      a.queries,
+				})
+			}
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,85 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sapla/internal/repr"
+	"sapla/internal/ts"
+)
+
+// AsciiPlot renders a terminal version of the paper's Figure 1 panels:
+// the original points (o), the reconstructed points (x), and (*) where they
+// coincide, on a height-row character grid.
+func AsciiPlot(c ts.Series, rep repr.Representation, height int) string {
+	if height < 4 {
+		height = 12
+	}
+	rec := rep.Reconstruct()
+	lo, hi := c.MinMax()
+	if rlo, rhi := rec.MinMax(); rlo < lo {
+		lo = rlo
+	} else if rhi > hi {
+		hi = rhi
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	rowOf := func(v float64) int {
+		r := int(math.Round((hi - v) / (hi - lo) * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", len(c)))
+	}
+	for t := range c {
+		ro := rowOf(c[t])
+		rr := rowOf(rec[t])
+		if ro == rr {
+			grid[ro][t] = '*'
+			continue
+		}
+		grid[ro][t] = 'o'
+		grid[rr][t] = 'x'
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%8.2f ┤%s\n", hi, string(grid[0]))
+	for i := 1; i < height-1; i++ {
+		fmt.Fprintf(&sb, "%8s │%s\n", "", string(grid[i]))
+	}
+	fmt.Fprintf(&sb, "%8.2f ┤%s\n", lo, string(grid[height-1]))
+	fmt.Fprintf(&sb, "%8s └%s\n", "", strings.Repeat("─", len(c)))
+	return sb.String()
+}
+
+// PlotWorkedExample renders Figure 1 as ASCII panels: each of the four
+// methods' reconstruction of the 20-point example.
+func PlotWorkedExample(height int) (string, error) {
+	opt := DefaultOptions()
+	opt.Cfg.Length = len(PaperSeries)
+	var sb strings.Builder
+	for _, meth := range opt.Methods() {
+		switch meth.Name() {
+		case "SAPLA", "APLA", "APCA", "PLA":
+		default:
+			continue
+		}
+		rep, err := meth.Reduce(PaperSeries, 12)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&sb, "%s (N = %d, max dev %.4f)  o original  x reconstructed  * both\n",
+			meth.Name(), rep.Segments(), ts.MaxDeviation(PaperSeries, rep.Reconstruct()))
+		sb.WriteString(AsciiPlot(PaperSeries, rep, height))
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,130 @@
+package eval
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"sapla/internal/ts"
+)
+
+// ReductionRow is one bar of Figure 12: a method at a coefficient budget M,
+// with its mean max deviation, mean sum of segment max deviations, and mean
+// per-series reduction time over all datasets.
+type ReductionRow struct {
+	Method       string
+	M            int
+	MaxDev       float64
+	SumSegMaxDev float64
+	Time         time.Duration
+	Series       int // series measured
+}
+
+// ReductionExperiment regenerates Figure 12 (a: max deviation, b:
+// dimensionality-reduction time): every method reduces every series of every
+// dataset at every M.
+func ReductionExperiment(opt Options) ([]ReductionRow, error) {
+	methods := opt.Methods()
+	type acc struct {
+		dev, segDev float64
+		elapsed     time.Duration
+		n           int
+	}
+	accs := make([][]acc, len(methods)) // [method][mIdx]
+	for i := range accs {
+		accs[i] = make([]acc, len(opt.Ms))
+	}
+	var mu sync.Mutex
+	var firstErr error
+
+	forEachDataset(opt, func(data []ts.Series, _ []ts.Series) {
+		local := make([][]acc, len(methods))
+		for i := range local {
+			local[i] = make([]acc, len(opt.Ms))
+		}
+		for mi, meth := range methods {
+			for ki, m := range opt.Ms {
+				for _, c := range data {
+					startT := time.Now()
+					rep, err := meth.Reduce(c, m)
+					el := time.Since(startT)
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					a := &local[mi][ki]
+					a.dev += ts.MaxDeviation(c, rep.Reconstruct())
+					a.segDev += SumSegMaxDev(c, rep)
+					a.elapsed += el
+					a.n++
+				}
+			}
+		}
+		mu.Lock()
+		for mi := range accs {
+			for ki := range accs[mi] {
+				accs[mi][ki].dev += local[mi][ki].dev
+				accs[mi][ki].segDev += local[mi][ki].segDev
+				accs[mi][ki].elapsed += local[mi][ki].elapsed
+				accs[mi][ki].n += local[mi][ki].n
+			}
+		}
+		mu.Unlock()
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	var rows []ReductionRow
+	for mi, meth := range methods {
+		for ki, m := range opt.Ms {
+			a := accs[mi][ki]
+			if a.n == 0 {
+				continue
+			}
+			rows = append(rows, ReductionRow{
+				Method:       meth.Name(),
+				M:            m,
+				MaxDev:       a.dev / float64(a.n),
+				SumSegMaxDev: a.segDev / float64(a.n),
+				Time:         a.elapsed / time.Duration(a.n),
+				Series:       a.n,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// forEachDataset generates each dataset and runs fn over it, with bounded
+// parallelism across datasets.
+func forEachDataset(opt Options, fn func(data, queries []ts.Series)) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, d := range opt.Datasets {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			insts, qinsts := d.Generate(opt.Cfg)
+			data := make([]ts.Series, len(insts))
+			for i := range insts {
+				data[i] = insts[i].Values
+			}
+			queries := make([]ts.Series, len(qinsts))
+			for i := range qinsts {
+				queries[i] = qinsts[i].Values
+			}
+			fn(data, queries)
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,107 @@
+package eval
+
+import (
+	"sync"
+
+	"sapla/internal/core"
+	"sapla/internal/dist"
+	"sapla/internal/repr"
+	"sapla/internal/ts"
+)
+
+// TightnessRow summarises one measure of Figure 10 over many query/candidate
+// pairs: its mean value, its mean ratio to the true Euclidean distance
+// (1 = perfectly tight), and how often it exceeded the Euclidean distance
+// (lower-bound violations).
+type TightnessRow struct {
+	Measure    string
+	Mean       float64
+	Tightness  float64 // mean measure ÷ Euclidean distance
+	Violations int     // pairs where measure > Euclidean distance
+	Pairs      int
+}
+
+// TightnessExperiment regenerates Figure 10's comparison of Dist_LB,
+// Dist_PAR and Dist_AE on SAPLA representations: for every dataset each
+// query is compared against every stored series.
+func TightnessExperiment(opt Options, m int) ([]TightnessRow, error) {
+	measures := []dist.AdaptiveMeasure{dist.MeasureLB, dist.MeasurePAR, dist.MeasureAE}
+	type acc struct {
+		sum, ratio float64
+		violations int
+		pairs      int
+	}
+	accs := make([]acc, len(measures))
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	forEachDataset(opt, func(data, queries []ts.Series) {
+		sapla := core.New()
+		local := make([]acc, len(measures))
+		reps := make([]repr.Representation, len(data))
+		for i, c := range data {
+			rep, err := sapla.Reduce(c, m)
+			if err != nil {
+				fail(err)
+				return
+			}
+			reps[i] = rep
+		}
+		for _, q := range queries {
+			qrep, err := sapla.Reduce(q, m)
+			if err != nil {
+				fail(err)
+				return
+			}
+			query := dist.NewQuery(q, qrep)
+			for i, c := range data {
+				d, err := ts.Euclidean(q, c)
+				if err != nil || d == 0 {
+					continue
+				}
+				for mi, meas := range measures {
+					v, err := dist.Adaptive(meas, query, reps[i])
+					if err != nil {
+						fail(err)
+						return
+					}
+					local[mi].sum += v
+					local[mi].ratio += v / d
+					if v > d+1e-9 {
+						local[mi].violations++
+					}
+					local[mi].pairs++
+				}
+			}
+		}
+		mu.Lock()
+		for i := range accs {
+			accs[i].sum += local[i].sum
+			accs[i].ratio += local[i].ratio
+			accs[i].violations += local[i].violations
+			accs[i].pairs += local[i].pairs
+		}
+		mu.Unlock()
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	rows := make([]TightnessRow, len(measures))
+	for i, meas := range measures {
+		a := accs[i]
+		rows[i] = TightnessRow{Measure: string(meas), Pairs: a.pairs, Violations: a.violations}
+		if a.pairs > 0 {
+			rows[i].Mean = a.sum / float64(a.pairs)
+			rows[i].Tightness = a.ratio / float64(a.pairs)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,72 @@
+package eval
+
+import (
+	"sapla/internal/core"
+	"sapla/internal/repr"
+	"sapla/internal/ts"
+)
+
+// PaperSeries is the 20-point worked example of Figures 1, 5, 6 and 8.
+var PaperSeries = ts.Series{7, 8, 20, 15, 18, 8, 8, 15, 10, 1, 4, 3, 3, 5, 4, 9, 2, 9, 10, 10}
+
+// WorkedRow is one panel of Figure 1 (or one stage of Figures 5/6/8).
+type WorkedRow struct {
+	Label        string
+	Segments     int
+	MaxDev       float64
+	SumSegMaxDev float64
+	Endpoints    []int
+}
+
+// WorkedExample regenerates Figure 1: the four methods on the 20-point
+// example at M = 12, reporting segment counts and deviations.
+func WorkedExample() ([]WorkedRow, error) {
+	opt := DefaultOptions()
+	opt.Cfg.Length = len(PaperSeries)
+	var rows []WorkedRow
+	for _, meth := range opt.Methods() {
+		switch meth.Name() {
+		case "SAPLA", "APLA", "APCA", "PLA":
+		default:
+			continue
+		}
+		rep, err := meth.Reduce(PaperSeries, 12)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, workedRow(meth.Name(), rep))
+	}
+	return rows, nil
+}
+
+// WorkedStages regenerates Figures 5, 6 and 8: SAPLA stage by stage on the
+// worked example.
+func WorkedStages() ([]WorkedRow, error) {
+	init, afterSM, final, err := core.New().ReduceStages(PaperSeries, 12)
+	if err != nil {
+		return nil, err
+	}
+	return []WorkedRow{
+		workedRow("Initialization (Fig. 5)", init),
+		workedRow("Split & Merge (Fig. 6)", afterSM),
+		workedRow("Endpoint Movement (Fig. 8)", final),
+	}, nil
+}
+
+func workedRow(label string, rep repr.Representation) WorkedRow {
+	row := WorkedRow{
+		Label:        label,
+		Segments:     rep.Segments(),
+		MaxDev:       ts.MaxDeviation(PaperSeries, rep.Reconstruct()),
+		SumSegMaxDev: SumSegMaxDev(PaperSeries, rep),
+	}
+	if lin, ok := rep.(repr.Linear); ok {
+		row.Endpoints = lin.Endpoints()
+	}
+	if c, ok := rep.(repr.Constant); ok {
+		for _, s := range c.Segs {
+			row.Endpoints = append(row.Endpoints, s.R)
+		}
+	}
+	return row
+}

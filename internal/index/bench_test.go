@@ -1,0 +1,92 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"sapla/internal/core"
+	"sapla/internal/dist"
+)
+
+func benchEntries(b *testing.B, count, n, m int) []*Entry {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	meth := core.New()
+	out := make([]*Entry, count)
+	for i := range out {
+		raw := randWalk(rng, n)
+		rep, err := meth.Reduce(raw, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out[i] = NewEntry(i, raw, rep)
+	}
+	return out
+}
+
+func BenchmarkRTreeInsert(b *testing.B) {
+	entries := benchEntries(b, 500, 128, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree, _ := NewRTree("SAPLA", 128, 12, 2, 5)
+		for _, e := range entries {
+			if err := tree.Insert(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkDBCHInsert(b *testing.B) {
+	entries := benchEntries(b, 500, 128, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree, _ := NewDBCH("SAPLA", 2, 5)
+		for _, e := range entries {
+			if err := tree.Insert(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchKNN(b *testing.B, idx Index, entries []*Entry) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(2))
+	meth := core.New()
+	for _, e := range entries {
+		if err := idx.Insert(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := randWalk(rng, 128)
+	qr, err := meth.Reduce(q, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	query := dist.NewQuery(q, qr)
+	b.ResetTimer()
+	var measured int
+	for i := 0; i < b.N; i++ {
+		_, stats, err := idx.KNN(query, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		measured = stats.Measured
+	}
+	b.ReportMetric(float64(measured)/float64(len(entries)), "rho")
+}
+
+func BenchmarkRTreeKNN(b *testing.B) {
+	tree, _ := NewRTree("SAPLA", 128, 12, 2, 5)
+	benchKNN(b, tree, benchEntries(b, 500, 128, 12))
+}
+
+func BenchmarkDBCHKNN(b *testing.B) {
+	tree, _ := NewDBCH("SAPLA", 2, 5)
+	benchKNN(b, tree, benchEntries(b, 500, 128, 12))
+}
+
+func BenchmarkLinearScanKNN(b *testing.B) {
+	benchKNN(b, NewLinearScan(), benchEntries(b, 500, 128, 12))
+}

@@ -1,0 +1,109 @@
+package index
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrNotEmpty is returned when bulk-loading into a non-empty tree.
+var ErrNotEmpty = errors.New("index: bulk load requires an empty tree")
+
+// BulkLoad packs entries into the R-tree bottom-up with a two-level
+// Sort-Tile-Recursive layout: entries are sorted along the highest-variance
+// coefficient dimension, tiled into slabs, each slab sorted along the
+// second-highest-variance dimension, and packed into full leaves; upper
+// levels pack consecutive nodes. Compared with one-by-one insertion it
+// builds faster and packs tighter (an ingest-time ablation for Figure 14a).
+func (t *RTree) BulkLoad(entries []*Entry) error {
+	if t.root != nil {
+		return ErrNotEmpty
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	t.dim = len(entries[0].Vec())
+	for _, e := range entries {
+		if len(e.Vec()) != t.dim {
+			return errDim(t.dim, len(e.Vec()))
+		}
+	}
+	d1, d2 := topVarianceDims(entries, t.dim)
+
+	sorted := append([]*Entry(nil), entries...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Vec()[d1] < sorted[j].Vec()[d1] })
+
+	leafCount := (len(sorted) + t.maxFill - 1) / t.maxFill
+	slabCount := int(math.Ceil(math.Sqrt(float64(leafCount))))
+	slabSize := (len(sorted) + slabCount - 1) / slabCount
+
+	var leaves []*rnode
+	for lo := 0; lo < len(sorted); lo += slabSize {
+		hi := lo + slabSize
+		if hi > len(sorted) {
+			hi = len(sorted)
+		}
+		slab := sorted[lo:hi]
+		sort.SliceStable(slab, func(i, j int) bool { return slab[i].Vec()[d2] < slab[j].Vec()[d2] })
+		for s := 0; s < len(slab); s += t.maxFill {
+			e := s + t.maxFill
+			if e > len(slab) {
+				e = len(slab)
+			}
+			leaf := &rnode{isLeaf: true, entries: append([]*Entry(nil), slab[s:e]...)}
+			leaf.rect = rectOfEntries(leaf.entries)
+			leaves = append(leaves, leaf)
+		}
+	}
+
+	level := leaves
+	for len(level) > 1 {
+		var next []*rnode
+		for lo := 0; lo < len(level); lo += t.maxFill {
+			hi := lo + t.maxFill
+			if hi > len(level) {
+				hi = len(level)
+			}
+			parent := &rnode{isLeaf: false, children: append([]*rnode(nil), level[lo:hi]...)}
+			parent.rect = rectOfNodes(parent.children)
+			next = append(next, parent)
+		}
+		level = next
+	}
+	t.root = level[0]
+	t.size = len(entries)
+	return nil
+}
+
+// topVarianceDims returns the two coefficient dimensions with the largest
+// variance across the entries.
+func topVarianceDims(entries []*Entry, dim int) (int, int) {
+	variance := make([]float64, dim)
+	n := float64(len(entries))
+	for d := 0; d < dim; d++ {
+		var sum, sum2 float64
+		for _, e := range entries {
+			v := e.Vec()[d]
+			sum += v
+			sum2 += v * v
+		}
+		variance[d] = sum2/n - (sum/n)*(sum/n)
+	}
+	d1, d2 := 0, 0
+	for d := 1; d < dim; d++ {
+		if variance[d] > variance[d1] {
+			d1 = d
+		}
+	}
+	if dim > 1 {
+		if d1 == 0 {
+			d2 = 1
+		}
+		for d := 0; d < dim; d++ {
+			if d != d1 && variance[d] > variance[d2] {
+				d2 = d
+			}
+		}
+	}
+	return d1, d2
+}

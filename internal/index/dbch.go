@@ -1,0 +1,386 @@
+package index
+
+import (
+	"math"
+
+	"sapla/internal/dist"
+	"sapla/internal/repr"
+)
+
+// dnode is one DBCH-tree node. Its cover is not an MBR but a "convex hull":
+// the two member representations with the maximum lower-bounding distance
+// (Section 5.2); their distance is the node's volume.
+type dnode struct {
+	isLeaf   bool
+	children []*dnode
+	entries  []*Entry
+
+	hullU, hullL repr.Representation
+	volume       float64
+	// coverU/coverL upper-bound the representation distance from hullU /
+	// hullL to ANY descendant entry (triangle-chained through child hulls).
+	// They make the SafeBound node distance a true lower bound whenever the
+	// representation distance is a metric (Dist_PAR, Dist_PAA, Dist_PLA and
+	// Dist_CHEBY all are: each is an L2 distance between reconstructions or
+	// coefficients).
+	coverU, coverL float64
+}
+
+// DBCH is the paper's Distance-Based Covering with Convex Hull tree
+// (Sections 5.2–5.3): node splitting and branch picking use the
+// lower-bounding distance (Dist_PAR for adaptive methods) instead of MBR
+// margin/area, avoiding the APCA-MBR overlap problem.
+type DBCH struct {
+	method           string
+	minFill, maxFill int
+	root             *dnode
+	size             int
+	filter           dist.FilterFunc
+	repDist          dist.RepDistFunc
+	// SafeBound switches the node distance from the paper's Section 5.3
+	// rule (tight but able to dismiss true neighbours) to the
+	// triangle-inequality-safe max(0, dᵤ − coverU, dₗ − coverL), which never
+	// over-prunes when the representation distance is a metric.
+	SafeBound bool
+}
+
+// NewDBCH builds an empty DBCH-tree for the given method.
+func NewDBCH(method string, minFill, maxFill int) (*DBCH, error) {
+	f, err := dist.Filter(method)
+	if err != nil {
+		return nil, err
+	}
+	rd, err := dist.RepDist(method)
+	if err != nil {
+		return nil, err
+	}
+	if minFill < 1 || maxFill < 2*minFill-1 {
+		minFill, maxFill = 2, 5
+	}
+	return &DBCH{method: method, minFill: minFill, maxFill: maxFill, filter: f, repDist: rd}, nil
+}
+
+// Len implements Index.
+func (t *DBCH) Len() int { return t.size }
+
+// d evaluates the representation distance, treating failures as "far".
+func (t *DBCH) d(a, b repr.Representation) float64 {
+	v, err := t.repDist(a, b)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return v
+}
+
+// Insert implements Index.
+func (t *DBCH) Insert(e *Entry) error {
+	if t.root == nil {
+		t.root = &dnode{isLeaf: true, entries: []*Entry{e}, hullU: e.Rep, hullL: e.Rep}
+		t.size++
+		return nil
+	}
+	if sib := t.insert(t.root, e); sib != nil {
+		old := t.root
+		root := &dnode{isLeaf: false, children: []*dnode{old, sib}}
+		t.rebuildInternalHull(root)
+		t.root = root
+	}
+	t.size++
+	return nil
+}
+
+// insert descends by minimum distance increase (Section 5.3's branch
+// picking), rebuilding hulls on the way back up; a non-nil return is a new
+// sibling. The hull maintenance keeps the invariant exact at leaves — the
+// hull is the true max-distance entry pair, so every entry lies within the
+// volume of both hull ends — and recomputes internal hulls from the
+// children's hull representatives (the only pairs Section 5.3 compares for
+// internal nodes). This extra work is why DBCH ingest costs more than the
+// R-tree's, as the paper reports.
+func (t *DBCH) insert(nd *dnode, e *Entry) *dnode {
+	if nd.isLeaf {
+		nd.entries = append(nd.entries, e)
+		if len(nd.entries) > t.maxFill {
+			return t.splitLeaf(nd)
+		}
+		t.absorbLeaf(nd, e)
+		return nil
+	}
+	best := t.pickBranch(nd, e.Rep)
+	if sib := t.insert(best, e); sib != nil {
+		nd.children = append(nd.children, sib)
+		if len(nd.children) > t.maxFill {
+			return t.splitInternal(nd) // rebuilds both halves' hulls
+		}
+	}
+	t.rebuildInternalHull(nd)
+	return nil
+}
+
+// absorbLeaf updates a leaf's hull exactly after appending e: the only new
+// candidate pairs involve e, so comparing e against every other entry keeps
+// the hull the true max-distance pair.
+func (t *DBCH) absorbLeaf(nd *dnode, e *Entry) {
+	if len(nd.entries) == 1 {
+		nd.hullU, nd.hullL, nd.volume = e.Rep, e.Rep, 0
+		nd.coverU, nd.coverL = 0, 0
+		return
+	}
+	changed := false
+	for _, x := range nd.entries {
+		if x == e {
+			continue
+		}
+		if d := t.d(e.Rep, x.Rep); d > nd.volume {
+			nd.hullU, nd.hullL, nd.volume = e.Rep, x.Rep, d
+			changed = true
+		}
+	}
+	if changed {
+		t.leafCovers(nd)
+		return
+	}
+	if d := t.d(e.Rep, nd.hullU); d > nd.coverU {
+		nd.coverU = d
+	}
+	if d := t.d(e.Rep, nd.hullL); d > nd.coverL {
+		nd.coverL = d
+	}
+}
+
+// leafCovers recomputes a leaf's exact cover radii.
+func (t *DBCH) leafCovers(nd *dnode) {
+	nd.coverU, nd.coverL = 0, 0
+	for _, x := range nd.entries {
+		if d := t.d(x.Rep, nd.hullU); d > nd.coverU {
+			nd.coverU = d
+		}
+		if d := t.d(x.Rep, nd.hullL); d > nd.coverL {
+			nd.coverL = d
+		}
+	}
+}
+
+// pickBranch chooses the child whose hull needs the smallest growth to
+// cover r (ties: smaller volume).
+func (t *DBCH) pickBranch(nd *dnode, r repr.Representation) *dnode {
+	var best *dnode
+	bestCost, bestVol := math.Inf(1), math.Inf(1)
+	for _, ch := range nd.children {
+		du, dl := t.d(r, ch.hullU), t.d(r, ch.hullL)
+		grow := math.Max(du, dl) - ch.volume
+		if grow < 0 {
+			grow = 0
+		}
+		if grow < bestCost || (grow == bestCost && ch.volume < bestVol) {
+			best, bestCost, bestVol = ch, grow, ch.volume
+		}
+	}
+	return best
+}
+
+// splitLeaf implements the distance-based node splitting of Section 5.3:
+// the two entries with the maximum lower-bounding distance seed the groups,
+// the rest join the nearer seed.
+func (t *DBCH) splitLeaf(nd *dnode) *dnode {
+	es := nd.entries
+	s1, s2 := t.farthestPair(len(es), func(i, j int) float64 { return t.d(es[i].Rep, es[j].Rep) })
+	var g1, g2 []*Entry
+	g1 = append(g1, es[s1])
+	g2 = append(g2, es[s2])
+	for i, e := range es {
+		if i == s1 || i == s2 {
+			continue
+		}
+		d1, d2 := t.d(e.Rep, es[s1].Rep), t.d(e.Rep, es[s2].Rep)
+		switch {
+		case len(g1) >= len(es)-t.minFill: // g2 must take the rest
+			g2 = append(g2, e)
+		case len(g2) >= len(es)-t.minFill:
+			g1 = append(g1, e)
+		case d1 <= d2:
+			g1 = append(g1, e)
+		default:
+			g2 = append(g2, e)
+		}
+	}
+	nd.entries = g1
+	t.rebuildLeafHull(nd)
+	sib := &dnode{isLeaf: true, entries: g2}
+	t.rebuildLeafHull(sib)
+	return sib
+}
+
+// splitInternal splits children by the distance between their hulls.
+func (t *DBCH) splitInternal(nd *dnode) *dnode {
+	cs := nd.children
+	s1, s2 := t.farthestPair(len(cs), func(i, j int) float64 { return t.childDist(cs[i], cs[j]) })
+	var g1, g2 []*dnode
+	g1 = append(g1, cs[s1])
+	g2 = append(g2, cs[s2])
+	for i, c := range cs {
+		if i == s1 || i == s2 {
+			continue
+		}
+		d1, d2 := t.childDist(c, cs[s1]), t.childDist(c, cs[s2])
+		switch {
+		case len(g1) >= len(cs)-t.minFill:
+			g2 = append(g2, c)
+		case len(g2) >= len(cs)-t.minFill:
+			g1 = append(g1, c)
+		case d1 <= d2:
+			g1 = append(g1, c)
+		default:
+			g2 = append(g2, c)
+		}
+	}
+	nd.children = g1
+	t.rebuildInternalHull(nd)
+	sib := &dnode{isLeaf: false, children: g2}
+	t.rebuildInternalHull(sib)
+	return sib
+}
+
+// childDist is the distance between two subtrees: the maximum distance
+// among their hull representatives (only hull pairs are compared for
+// internal nodes, per Section 5.3).
+func (t *DBCH) childDist(a, b *dnode) float64 {
+	m := t.d(a.hullU, b.hullU)
+	if v := t.d(a.hullU, b.hullL); v > m {
+		m = v
+	}
+	if v := t.d(a.hullL, b.hullU); v > m {
+		m = v
+	}
+	if v := t.d(a.hullL, b.hullL); v > m {
+		m = v
+	}
+	return m
+}
+
+// farthestPair returns the indices of the pair maximising d.
+func (t *DBCH) farthestPair(n int, d func(i, j int) float64) (int, int) {
+	s1, s2, worst := 0, 1, math.Inf(-1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if v := d(i, j); v > worst {
+				worst, s1, s2 = v, i, j
+			}
+		}
+	}
+	return s1, s2
+}
+
+// rebuildLeafHull recomputes a leaf's exact max-distance pair.
+func (t *DBCH) rebuildLeafHull(nd *dnode) {
+	es := nd.entries
+	if len(es) == 1 {
+		nd.hullU, nd.hullL, nd.volume = es[0].Rep, es[0].Rep, 0
+		nd.coverU, nd.coverL = 0, 0
+		return
+	}
+	i, j := t.farthestPair(len(es), func(a, b int) float64 { return t.d(es[a].Rep, es[b].Rep) })
+	nd.hullU, nd.hullL = es[i].Rep, es[j].Rep
+	nd.volume = t.d(es[i].Rep, es[j].Rep)
+	t.leafCovers(nd)
+}
+
+// rebuildInternalHull recomputes an internal node's hull from its children's
+// hull representatives.
+func (t *DBCH) rebuildInternalHull(nd *dnode) {
+	var reps []repr.Representation
+	for _, c := range nd.children {
+		reps = append(reps, c.hullU, c.hullL)
+	}
+	if len(reps) == 1 {
+		nd.hullU, nd.hullL, nd.volume = reps[0], reps[0], 0
+	} else {
+		i, j := t.farthestPair(len(reps), func(a, b int) float64 { return t.d(reps[a], reps[b]) })
+		nd.hullU, nd.hullL = reps[i], reps[j]
+		nd.volume = t.d(reps[i], reps[j])
+	}
+	// Triangle-chained cover radii: a descendant under child c is within
+	// d(hull, c.hull) + c.cover of this hull, through either child hull end.
+	nd.coverU, nd.coverL = 0, 0
+	for _, c := range nd.children {
+		ru := math.Min(t.d(nd.hullU, c.hullU)+c.coverU, t.d(nd.hullU, c.hullL)+c.coverL)
+		rl := math.Min(t.d(nd.hullL, c.hullU)+c.coverU, t.d(nd.hullL, c.hullL)+c.coverL)
+		if ru > nd.coverU {
+			nd.coverU = ru
+		}
+		if rl > nd.coverL {
+			nd.coverL = rl
+		}
+	}
+}
+
+// treeNode interface for the shared k-NN search.
+
+// IsLeaf implements treeNode.
+func (n *dnode) IsLeaf() bool { return n.isLeaf }
+
+// Children implements treeNode.
+func (n *dnode) Children() []treeNode {
+	out := make([]treeNode, len(n.children))
+	for i, c := range n.children {
+		out[i] = c
+	}
+	return out
+}
+
+// Entries implements treeNode.
+func (n *dnode) Entries() []*Entry { return n.entries }
+
+// bound is Section 5.3's query-to-node distance: 0 when the query lies
+// within the hull's volume of both ends; otherwise the smaller of the two
+// hull distances (paper rule) or the triangle-safe bound (SafeBound).
+func (t *DBCH) bound(nd *dnode, q dist.Query) float64 {
+	du := t.d(q.Rep, nd.hullU)
+	dl := t.d(q.Rep, nd.hullL)
+	if du <= nd.volume && dl <= nd.volume {
+		return 0
+	}
+	if t.SafeBound {
+		b := math.Max(du-nd.coverU, dl-nd.coverL)
+		if b < 0 {
+			b = 0
+		}
+		return b
+	}
+	return math.Min(du, dl)
+}
+
+// KNN implements Index.
+func (t *DBCH) KNN(q dist.Query, k int) ([]Result, SearchStats, error) {
+	if t.root == nil {
+		return nil, SearchStats{}, nil
+	}
+	bound := func(nd treeNode) float64 { return t.bound(nd.(*dnode), q) }
+	return knnSearch(t.root, bound, q, k, t.filter)
+}
+
+// Stats implements the tree-shape reporting of Figures 15–16.
+func (t *DBCH) Stats() TreeStats {
+	var s TreeStats
+	s.Entries = t.size
+	var maxDepth int
+	var walk func(nd *dnode, depth int)
+	walk = func(nd *dnode, depth int) {
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+		if nd.isLeaf {
+			s.LeafNodes++
+			return
+		}
+		s.InternalNodes++
+		for _, c := range nd.children {
+			walk(c, depth+1)
+		}
+	}
+	if t.root != nil {
+		walk(t.root, 1)
+	}
+	s.Height = maxDepth
+	return s
+}

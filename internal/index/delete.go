@@ -1,0 +1,146 @@
+package index
+
+// Delete removes the entry with the given ID from the R-tree, condensing
+// underfull nodes Guttman-style: orphaned entries are reinserted. It reports
+// whether the entry was found.
+func (t *RTree) Delete(id int) bool {
+	if t.root == nil {
+		return false
+	}
+	var orphans []*Entry
+	found, _ := t.deleteRec(t.root, id, &orphans)
+	if !found {
+		return false
+	}
+	t.size--
+	// Shrink the root: an internal root with one child collapses; an empty
+	// leaf root resets the tree.
+	for !t.root.isLeaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+	}
+	if t.root.isLeaf && len(t.root.entries) == 0 {
+		t.root = nil
+		t.dim = 0
+	}
+	for _, e := range orphans {
+		t.size-- // Insert below re-increments
+		if err := t.Insert(e); err != nil {
+			// Cannot happen: orphans came from this tree, so dimensions match.
+			panic(err)
+		}
+	}
+	return true
+}
+
+// deleteRec removes id under nd, collecting entries of condensed subtrees.
+// It returns whether the id was found and whether nd now underflows.
+func (t *RTree) deleteRec(nd *rnode, id int, orphans *[]*Entry) (found, underflow bool) {
+	if nd.isLeaf {
+		for i, e := range nd.entries {
+			if e.ID == id {
+				nd.entries = append(nd.entries[:i], nd.entries[i+1:]...)
+				if len(nd.entries) > 0 {
+					nd.rect = rectOfEntries(nd.entries)
+				}
+				return true, len(nd.entries) < t.minFill
+			}
+		}
+		return false, false
+	}
+	for i, ch := range nd.children {
+		f, uf := t.deleteRec(ch, id, orphans)
+		if !f {
+			continue
+		}
+		if uf {
+			nd.children = append(nd.children[:i], nd.children[i+1:]...)
+			collectEntries(ch, orphans)
+		}
+		if len(nd.children) > 0 {
+			nd.rect = rectOfNodes(nd.children)
+		}
+		return true, len(nd.children) < t.minFill
+	}
+	return false, false
+}
+
+// collectEntries gathers every entry in a subtree.
+func collectEntries(nd *rnode, out *[]*Entry) {
+	if nd.isLeaf {
+		*out = append(*out, nd.entries...)
+		return
+	}
+	for _, c := range nd.children {
+		collectEntries(c, out)
+	}
+}
+
+// Delete removes the entry with the given ID from the DBCH-tree, condensing
+// underfull nodes and rebuilding hulls on the path. It reports whether the
+// entry was found.
+func (t *DBCH) Delete(id int) bool {
+	if t.root == nil {
+		return false
+	}
+	var orphans []*Entry
+	found, _ := t.deleteRec(t.root, id, &orphans)
+	if !found {
+		return false
+	}
+	t.size--
+	for !t.root.isLeaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+	}
+	if t.root.isLeaf && len(t.root.entries) == 0 {
+		t.root = nil
+	}
+	for _, e := range orphans {
+		t.size--
+		if err := t.Insert(e); err != nil {
+			panic(err) // unreachable: entries came from this tree
+		}
+	}
+	return true
+}
+
+// deleteRec removes id under nd, rebuilding hulls bottom-up.
+func (t *DBCH) deleteRec(nd *dnode, id int, orphans *[]*Entry) (found, underflow bool) {
+	if nd.isLeaf {
+		for i, e := range nd.entries {
+			if e.ID == id {
+				nd.entries = append(nd.entries[:i], nd.entries[i+1:]...)
+				if len(nd.entries) > 0 {
+					t.rebuildLeafHull(nd)
+				}
+				return true, len(nd.entries) < t.minFill
+			}
+		}
+		return false, false
+	}
+	for i, ch := range nd.children {
+		f, uf := t.deleteRec(ch, id, orphans)
+		if !f {
+			continue
+		}
+		if uf {
+			nd.children = append(nd.children[:i], nd.children[i+1:]...)
+			collectDBCHEntries(ch, orphans)
+		}
+		if len(nd.children) > 0 {
+			t.rebuildInternalHull(nd)
+		}
+		return true, len(nd.children) < t.minFill
+	}
+	return false, false
+}
+
+// collectDBCHEntries gathers every entry in a subtree.
+func collectDBCHEntries(nd *dnode, out *[]*Entry) {
+	if nd.isLeaf {
+		*out = append(*out, nd.entries...)
+		return
+	}
+	for _, c := range nd.children {
+		collectDBCHEntries(c, out)
+	}
+}

@@ -1,0 +1,116 @@
+package index
+
+import (
+	"math"
+	"sort"
+
+	"sapla/internal/dist"
+	"sapla/internal/pqueue"
+	"sapla/internal/ts"
+)
+
+// treeNode is the traversal surface both trees expose to the shared GEMINI
+// best-first k-NN search.
+type treeNode interface {
+	IsLeaf() bool
+	Children() []treeNode
+	Entries() []*Entry
+}
+
+// knnSearch is the GEMINI branch-and-bound k-NN: nodes are visited in
+// increasing bound order; leaf entries are filtered with the method's
+// representation-space distance, and only entries whose filter distance
+// beats the current k-th best are fetched for an exact Euclidean distance
+// (those fetches are the paper's "time series which have to be measured").
+func knnSearch(root treeNode, bound func(treeNode) float64, q dist.Query, k int,
+	filter dist.FilterFunc) ([]Result, SearchStats, error) {
+
+	var stats SearchStats
+	if root == nil || k <= 0 {
+		return nil, stats, nil
+	}
+	nodes := pqueue.NewMin[treeNode]()
+	nodes.Push(0, root)
+	best := pqueue.NewMax[*Entry]() // k current best, worst on top
+	kth := math.Inf(1)
+
+	for nodes.Len() > 0 {
+		it := nodes.Pop()
+		if it.Priority > kth {
+			break // every remaining node is at least this far
+		}
+		nd := it.Value
+		stats.NodesVisited++
+		if !nd.IsLeaf() {
+			for _, ch := range nd.Children() {
+				if b := bound(ch); b <= kth {
+					nodes.Push(b, ch)
+				}
+			}
+			continue
+		}
+		for _, e := range nd.Entries() {
+			stats.Filtered++
+			fd, err := filter(q, e.Rep)
+			if err != nil {
+				return nil, stats, err
+			}
+			if fd > kth {
+				continue
+			}
+			stats.Measured++
+			exact := math.Sqrt(ts.EuclideanSq(q.Raw, e.Raw))
+			if best.Len() < k {
+				best.Push(exact, e)
+			} else if exact < best.Peek().Priority {
+				best.Pop()
+				best.Push(exact, e)
+			}
+			if best.Len() == k {
+				kth = best.Peek().Priority
+			}
+		}
+	}
+	return drainResults(best), stats, nil
+}
+
+// drainResults empties the best-heap into ascending order.
+func drainResults(best *pqueue.Queue[*Entry]) []Result {
+	out := make([]Result, best.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		it := best.Pop()
+		out[i] = Result{Entry: it.Value, Dist: it.Priority}
+	}
+	return out
+}
+
+// LinearScan is the exact baseline: every query measures every series.
+type LinearScan struct {
+	entries []*Entry
+}
+
+// NewLinearScan returns an empty linear-scan index.
+func NewLinearScan() *LinearScan { return &LinearScan{} }
+
+// Insert implements Index.
+func (s *LinearScan) Insert(e *Entry) error {
+	s.entries = append(s.entries, e)
+	return nil
+}
+
+// Len implements Index.
+func (s *LinearScan) Len() int { return len(s.entries) }
+
+// KNN implements Index by exact exhaustive search.
+func (s *LinearScan) KNN(q dist.Query, k int) ([]Result, SearchStats, error) {
+	stats := SearchStats{Measured: len(s.entries)}
+	res := make([]Result, 0, len(s.entries))
+	for _, e := range s.entries {
+		res = append(res, Result{Entry: e, Dist: math.Sqrt(ts.EuclideanSq(q.Raw, e.Raw))})
+	}
+	sort.Slice(res, func(i, j int) bool { return res[i].Dist < res[j].Dist })
+	if k < len(res) {
+		res = res[:k]
+	}
+	return res, stats, nil
+}

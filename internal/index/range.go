@@ -1,0 +1,92 @@
+package index
+
+import (
+	"math"
+	"sort"
+
+	"sapla/internal/dist"
+	"sapla/internal/ts"
+)
+
+// RangeSearcher is implemented by indexes that support ε-range queries —
+// the other query type of the GEMINI framework: return every stored series
+// within Euclidean distance radius of the query.
+type RangeSearcher interface {
+	Range(q dist.Query, radius float64) ([]Result, SearchStats, error)
+}
+
+// rangeSearch is the GEMINI range query over a tree: prune nodes whose
+// bound exceeds the radius, filter leaf entries with the method's
+// representation-space distance, and verify survivors exactly.
+func rangeSearch(root treeNode, bound func(treeNode) float64, q dist.Query,
+	radius float64, filter dist.FilterFunc) ([]Result, SearchStats, error) {
+
+	var stats SearchStats
+	var out []Result
+	if root == nil || radius < 0 {
+		return nil, stats, nil
+	}
+	stack := []treeNode{root}
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		stats.NodesVisited++
+		if !nd.IsLeaf() {
+			for _, ch := range nd.Children() {
+				if bound(ch) <= radius {
+					stack = append(stack, ch)
+				}
+			}
+			continue
+		}
+		for _, e := range nd.Entries() {
+			stats.Filtered++
+			fd, err := filter(q, e.Rep)
+			if err != nil {
+				return nil, stats, err
+			}
+			if fd > radius {
+				continue
+			}
+			stats.Measured++
+			exact := math.Sqrt(ts.EuclideanSq(q.Raw, e.Raw))
+			if exact <= radius {
+				out = append(out, Result{Entry: e, Dist: exact})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	return out, stats, nil
+}
+
+// Range implements RangeSearcher for the R-tree.
+func (t *RTree) Range(q dist.Query, radius float64) ([]Result, SearchStats, error) {
+	if t.root == nil {
+		return nil, SearchStats{}, nil
+	}
+	bound := func(nd treeNode) float64 { return t.nodeDist(q, nd.(*rnode).rect) }
+	return rangeSearch(t.root, bound, q, radius, t.filter)
+}
+
+// Range implements RangeSearcher for the DBCH-tree.
+func (t *DBCH) Range(q dist.Query, radius float64) ([]Result, SearchStats, error) {
+	if t.root == nil {
+		return nil, SearchStats{}, nil
+	}
+	bound := func(nd treeNode) float64 { return t.bound(nd.(*dnode), q) }
+	return rangeSearch(t.root, bound, q, radius, t.filter)
+}
+
+// Range implements RangeSearcher for the linear scan (exact).
+func (s *LinearScan) Range(q dist.Query, radius float64) ([]Result, SearchStats, error) {
+	stats := SearchStats{Measured: len(s.entries)}
+	var out []Result
+	for _, e := range s.entries {
+		d := math.Sqrt(ts.EuclideanSq(q.Raw, e.Raw))
+		if d <= radius {
+			out = append(out, Result{Entry: e, Dist: d})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	return out, stats, nil
+}

@@ -1,0 +1,89 @@
+package index
+
+// Rect is an axis-aligned hyper-rectangle in coefficient space — the MBR of
+// a subtree. High representation dimensionalities make Guttman's
+// area-based heuristics degenerate (products of many extents underflow), so
+// all heuristics here use margins (sums of extents), a standard practical
+// substitute.
+type Rect struct {
+	Lo, Hi []float64
+}
+
+// pointRect returns the degenerate rectangle covering a single vector.
+func pointRect(v []float64) Rect {
+	lo := append([]float64(nil), v...)
+	hi := append([]float64(nil), v...)
+	return Rect{Lo: lo, Hi: hi}
+}
+
+// clone deep-copies the rectangle.
+func (r Rect) clone() Rect {
+	return Rect{Lo: append([]float64(nil), r.Lo...), Hi: append([]float64(nil), r.Hi...)}
+}
+
+// extend grows r to cover o.
+func (r *Rect) extend(o Rect) {
+	for d := range r.Lo {
+		if o.Lo[d] < r.Lo[d] {
+			r.Lo[d] = o.Lo[d]
+		}
+		if o.Hi[d] > r.Hi[d] {
+			r.Hi[d] = o.Hi[d]
+		}
+	}
+}
+
+// margin is the sum of the extents over all dimensions.
+func (r Rect) margin() float64 {
+	var m float64
+	for d := range r.Lo {
+		m += r.Hi[d] - r.Lo[d]
+	}
+	return m
+}
+
+// enlargement is the margin increase needed for r to cover o.
+func (r Rect) enlargement(o Rect) float64 {
+	var inc float64
+	for d := range r.Lo {
+		lo, hi := r.Lo[d], r.Hi[d]
+		if o.Lo[d] < lo {
+			lo = o.Lo[d]
+		}
+		if o.Hi[d] > hi {
+			hi = o.Hi[d]
+		}
+		inc += (hi - lo) - (r.Hi[d] - r.Lo[d])
+	}
+	return inc
+}
+
+// union returns the bounding rectangle of r and o.
+func (r Rect) union(o Rect) Rect {
+	u := r.clone()
+	u.extend(o)
+	return u
+}
+
+// contains reports whether v lies inside r.
+func (r Rect) contains(v []float64) bool {
+	for d := range v {
+		if v[d] < r.Lo[d] || v[d] > r.Hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// gap returns the per-dimension distance from coordinate q to the interval
+// [lo, hi] (0 if inside).
+func gap(q, lo, hi float64) float64 {
+	switch {
+	case q < lo:
+		return lo - q
+	case q > hi:
+		return hi - q // negative; caller squares
+	default:
+		return 0
+	}
+}

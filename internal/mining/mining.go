@@ -1,0 +1,361 @@
+// Package mining implements the downstream tasks the paper's introduction
+// motivates similarity search with — k-NN classification, k-medoids
+// clustering, motif discovery and discord (anomaly) detection — all built
+// on the reduced representations and the lower-bounding distances, so each
+// task reports how much exact-distance work the bounds saved.
+package mining
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"sapla/internal/dist"
+	"sapla/internal/index"
+	"sapla/internal/reduce"
+	"sapla/internal/ts"
+	"sapla/internal/ucr"
+)
+
+// ErrNoData is returned when a task receives an empty collection.
+var ErrNoData = errors.New("mining: no data")
+
+// Classifier is a k-NN majority-vote classifier over an index.
+type Classifier struct {
+	method reduce.Method
+	m      int
+	k      int
+	idx    index.Index
+	labels []int
+	size   int
+}
+
+// NewClassifier builds a classifier using the given reduction method,
+// coefficient budget m and neighbourhood size k, indexed by a DBCH-tree.
+func NewClassifier(method reduce.Method, m, k int) (*Classifier, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("mining: k must be positive, got %d", k)
+	}
+	idx, err := index.NewDBCH(method.Name(), 2, 5)
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier{method: method, m: m, k: k, idx: idx}, nil
+}
+
+// Train indexes the labelled training set.
+func (c *Classifier) Train(data []ucr.Instance) error {
+	if len(data) == 0 {
+		return ErrNoData
+	}
+	for _, inst := range data {
+		rep, err := c.method.Reduce(inst.Values, c.m)
+		if err != nil {
+			return err
+		}
+		id := len(c.labels)
+		c.labels = append(c.labels, inst.Class)
+		if err := c.idx.Insert(index.NewEntry(id, inst.Values, rep)); err != nil {
+			return err
+		}
+	}
+	c.size = len(c.labels)
+	return nil
+}
+
+// Classify predicts the class of s by majority vote among its k nearest
+// indexed neighbours, breaking ties toward the nearer class.
+func (c *Classifier) Classify(s ts.Series) (int, index.SearchStats, error) {
+	if c.size == 0 {
+		return 0, index.SearchStats{}, ErrNoData
+	}
+	rep, err := c.method.Reduce(s, c.m)
+	if err != nil {
+		return 0, index.SearchStats{}, err
+	}
+	res, stats, err := c.idx.KNN(dist.NewQuery(s, rep), c.k)
+	if err != nil || len(res) == 0 {
+		return 0, stats, err
+	}
+	votes := map[int]int{}
+	bestDist := map[int]float64{}
+	for _, r := range res {
+		cl := c.labels[r.Entry.ID]
+		votes[cl]++
+		if d, ok := bestDist[cl]; !ok || r.Dist < d {
+			bestDist[cl] = r.Dist
+		}
+	}
+	best, bestVotes := -1, -1
+	for cl, v := range votes {
+		if v > bestVotes || (v == bestVotes && bestDist[cl] < bestDist[best]) {
+			best, bestVotes = cl, v
+		}
+	}
+	return best, stats, nil
+}
+
+// Evaluate classifies every test instance and returns the accuracy and the
+// mean pruning power ρ (fraction of the training set measured per query).
+func (c *Classifier) Evaluate(test []ucr.Instance) (accuracy, meanRho float64, err error) {
+	if len(test) == 0 {
+		return 0, 0, ErrNoData
+	}
+	var correct int
+	var rho float64
+	for _, inst := range test {
+		pred, stats, err := c.Classify(inst.Values)
+		if err != nil {
+			return 0, 0, err
+		}
+		if pred == inst.Class {
+			correct++
+		}
+		rho += float64(stats.Measured) / float64(c.size)
+	}
+	return float64(correct) / float64(len(test)), rho / float64(len(test)), nil
+}
+
+// pairDistances reduces every series and returns the representation-space
+// distance matrix entries needed by the batch tasks, plus the exact distance
+// evaluator.
+type collection struct {
+	data   []ts.Series
+	reps   []dist.Query
+	filter dist.FilterFunc
+}
+
+func newCollection(data []ts.Series, method reduce.Method, m int) (*collection, error) {
+	if len(data) == 0 {
+		return nil, ErrNoData
+	}
+	filter, err := dist.Filter(method.Name())
+	if err != nil {
+		return nil, err
+	}
+	col := &collection{data: data, filter: filter, reps: make([]dist.Query, len(data))}
+	reps, err := reduce.Batch(method, data, m, 0)
+	if err != nil {
+		return nil, err
+	}
+	for i, rep := range reps {
+		col.reps[i] = dist.NewQuery(data[i], rep)
+	}
+	return col, nil
+}
+
+// lb returns the representation-space (lower-bound) distance between items.
+func (c *collection) lb(i, j int) (float64, error) {
+	return c.filter(c.reps[i], c.reps[j].Rep)
+}
+
+// exact returns the Euclidean distance between items.
+func (c *collection) exact(i, j int) float64 {
+	return math.Sqrt(ts.EuclideanSq(c.data[i], c.data[j]))
+}
+
+// MotifResult is the closest pair in a collection.
+type MotifResult struct {
+	I, J     int
+	Dist     float64
+	Measured int // exact distance computations performed
+	Pairs    int // total candidate pairs
+}
+
+// Motif finds the top-1 motif — the pair of series with the smallest
+// Euclidean distance — using the GEMINI pattern: order all pairs by their
+// representation-space lower bound and verify exactly only while a pair's
+// bound beats the best exact distance found.
+func Motif(data []ts.Series, method reduce.Method, m int) (MotifResult, error) {
+	col, err := newCollection(data, method, m)
+	if err != nil {
+		return MotifResult{}, err
+	}
+	n := len(data)
+	if n < 2 {
+		return MotifResult{}, fmt.Errorf("mining: motif needs at least 2 series")
+	}
+	type pair struct {
+		i, j int
+		lb   float64
+	}
+	pairs := make([]pair, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			lb, err := col.lb(i, j)
+			if err != nil {
+				return MotifResult{}, err
+			}
+			pairs = append(pairs, pair{i, j, lb})
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].lb < pairs[b].lb })
+
+	res := MotifResult{I: -1, J: -1, Dist: math.Inf(1), Pairs: len(pairs)}
+	for _, p := range pairs {
+		if p.lb >= res.Dist {
+			break // every later pair's bound is at least this large
+		}
+		d := col.exact(p.i, p.j)
+		res.Measured++
+		if d < res.Dist {
+			res.I, res.J, res.Dist = p.i, p.j, d
+		}
+	}
+	return res, nil
+}
+
+// DiscordResult is the series least similar to everything else.
+type DiscordResult struct {
+	Index    int
+	NNDist   float64 // distance to its nearest neighbour
+	Measured int
+}
+
+// Discord finds the top-1 discord — the series whose nearest-neighbour
+// distance is largest — with lower-bound pruning: for each candidate,
+// neighbours are visited in increasing bound order and the scan of a
+// candidate aborts early once its NN distance provably falls below the best
+// discord found so far.
+func Discord(data []ts.Series, method reduce.Method, m int) (DiscordResult, error) {
+	col, err := newCollection(data, method, m)
+	if err != nil {
+		return DiscordResult{}, err
+	}
+	n := len(data)
+	if n < 2 {
+		return DiscordResult{}, fmt.Errorf("mining: discord needs at least 2 series")
+	}
+	best := DiscordResult{Index: -1, NNDist: -1}
+	for i := 0; i < n; i++ {
+		type cand struct {
+			j  int
+			lb float64
+		}
+		cands := make([]cand, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			lb, err := col.lb(i, j)
+			if err != nil {
+				return DiscordResult{}, err
+			}
+			cands = append(cands, cand{j, lb})
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].lb < cands[b].lb })
+		nn := math.Inf(1)
+		for _, cd := range cands {
+			if cd.lb >= nn {
+				break // NN distance settled
+			}
+			d := col.exact(i, cd.j)
+			best.Measured++
+			if d < nn {
+				nn = d
+			}
+			if nn <= best.NNDist {
+				break // cannot beat the current discord
+			}
+		}
+		if nn > best.NNDist && !math.IsInf(nn, 1) {
+			best.Index, best.NNDist = i, nn
+		}
+	}
+	return best, nil
+}
+
+// KMedoidsResult is a clustering of the collection.
+type KMedoidsResult struct {
+	Medoids    []int
+	Assignment []int
+	Cost       float64 // sum of exact distances to assigned medoids
+	Iterations int
+}
+
+// KMedoids clusters the collection into k groups with a PAM-style
+// alternating refinement, using exact distances to medoids only (candidate
+// medoid swaps are screened with the representation-space distance first).
+func KMedoids(data []ts.Series, method reduce.Method, m, k, maxIter int) (KMedoidsResult, error) {
+	col, err := newCollection(data, method, m)
+	if err != nil {
+		return KMedoidsResult{}, err
+	}
+	n := len(data)
+	if k < 1 || k > n {
+		return KMedoidsResult{}, fmt.Errorf("mining: k=%d out of range for %d series", k, n)
+	}
+	if maxIter < 1 {
+		maxIter = 10
+	}
+	// Deterministic farthest-first seeding.
+	medoids := []int{0}
+	for len(medoids) < k {
+		bestI, bestD := -1, -1.0
+		for i := 0; i < n; i++ {
+			dmin := math.Inf(1)
+			for _, md := range medoids {
+				if i == md {
+					dmin = 0
+					break
+				}
+				if d := col.exact(i, md); d < dmin {
+					dmin = d
+				}
+			}
+			if dmin > bestD {
+				bestD, bestI = dmin, i
+			}
+		}
+		medoids = append(medoids, bestI)
+	}
+
+	assign := make([]int, n)
+	res := KMedoidsResult{}
+	for iter := 0; iter < maxIter; iter++ {
+		res.Iterations = iter + 1
+		// Assignment step.
+		cost := 0.0
+		for i := 0; i < n; i++ {
+			bestC, bestD := 0, math.Inf(1)
+			for ci, md := range medoids {
+				if d := col.exact(i, md); d < bestD {
+					bestC, bestD = ci, d
+				}
+			}
+			assign[i] = bestC
+			cost += bestD
+		}
+		// Update step: each cluster's new medoid minimises intra-cluster cost.
+		changed := false
+		for ci := range medoids {
+			bestMd, bestCost := medoids[ci], math.Inf(1)
+			for i := 0; i < n; i++ {
+				if assign[i] != ci {
+					continue
+				}
+				var c float64
+				for j := 0; j < n; j++ {
+					if assign[j] == ci {
+						c += col.exact(i, j)
+					}
+				}
+				if c < bestCost {
+					bestCost, bestMd = c, i
+				}
+			}
+			if bestMd != medoids[ci] {
+				medoids[ci] = bestMd
+				changed = true
+			}
+		}
+		res.Cost = cost
+		if !changed {
+			break
+		}
+	}
+	res.Medoids = medoids
+	res.Assignment = assign
+	return res, nil
+}

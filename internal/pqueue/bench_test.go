@@ -1,0 +1,31 @@
+package pqueue
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkPushPop(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	q := NewMin[int]()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(rng.Float64(), i)
+		if q.Len() > 1024 {
+			q.Pop()
+		}
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	q := NewMax[int]()
+	items := make([]*Item[int], 1024)
+	for i := range items {
+		items[i] = q.Push(rng.Float64(), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Update(items[i%len(items)], rng.Float64())
+	}
+}

@@ -1,0 +1,147 @@
+// Package pqueue provides an addressable binary-heap priority queue used by
+// SAPLA's bookkeeping structures (the paper's ω^m and ω^s maps and η queues):
+// items carry a float64 priority, and any live item can be re-prioritised or
+// removed in O(log n) through its handle.
+package pqueue
+
+// Item is a handle to a queued value. It stays valid until the item is
+// popped or removed.
+type Item[T any] struct {
+	Priority float64
+	Value    T
+	index    int // position in the heap, -1 once detached
+}
+
+// Detached reports whether the item has been popped or removed.
+func (it *Item[T]) Detached() bool { return it.index < 0 }
+
+// Queue is a binary-heap priority queue. A min-queue pops the smallest
+// priority first; a max-queue the largest.
+type Queue[T any] struct {
+	items []*Item[T]
+	min   bool
+}
+
+// NewMin returns a queue that pops the smallest priority first.
+func NewMin[T any]() *Queue[T] { return &Queue[T]{min: true} }
+
+// NewMax returns a queue that pops the largest priority first.
+func NewMax[T any]() *Queue[T] { return &Queue[T]{min: false} }
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Push inserts a value with the given priority and returns its handle.
+func (q *Queue[T]) Push(priority float64, v T) *Item[T] {
+	it := &Item[T]{Priority: priority, Value: v, index: len(q.items)}
+	q.items = append(q.items, it)
+	q.up(it.index)
+	return it
+}
+
+// Peek returns the best item without removing it, or nil if empty.
+func (q *Queue[T]) Peek() *Item[T] {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
+}
+
+// Pop removes and returns the best item, or nil if empty.
+func (q *Queue[T]) Pop() *Item[T] {
+	if len(q.items) == 0 {
+		return nil
+	}
+	top := q.items[0]
+	q.swap(0, len(q.items)-1)
+	q.items = q.items[:len(q.items)-1]
+	if len(q.items) > 0 {
+		q.down(0)
+	}
+	top.index = -1
+	return top
+}
+
+// Update changes the priority of a live item, restoring heap order.
+// It panics if the item was already popped or removed.
+func (q *Queue[T]) Update(it *Item[T], priority float64) {
+	if it.index < 0 {
+		panic("pqueue: update of detached item")
+	}
+	it.Priority = priority
+	if !q.up(it.index) {
+		q.down(it.index)
+	}
+}
+
+// Remove detaches a live item from the queue.
+// It panics if the item was already popped or removed.
+func (q *Queue[T]) Remove(it *Item[T]) {
+	if it.index < 0 {
+		panic("pqueue: remove of detached item")
+	}
+	i := it.index
+	last := len(q.items) - 1
+	q.swap(i, last)
+	q.items = q.items[:last]
+	if i < last {
+		if !q.up(i) {
+			q.down(i)
+		}
+	}
+	it.index = -1
+}
+
+// Items returns the live items in heap order (not sorted order). The slice
+// is a copy; the handles are shared.
+func (q *Queue[T]) Items() []*Item[T] {
+	out := make([]*Item[T], len(q.items))
+	copy(out, q.items)
+	return out
+}
+
+func (q *Queue[T]) better(a, b *Item[T]) bool {
+	if q.min {
+		return a.Priority < b.Priority
+	}
+	return a.Priority > b.Priority
+}
+
+func (q *Queue[T]) swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.items[i].index = i
+	q.items[j].index = j
+}
+
+func (q *Queue[T]) up(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.better(q.items[i], q.items[parent]) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+func (q *Queue[T]) down(i int) {
+	n := len(q.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && q.better(q.items[l], q.items[best]) {
+			best = l
+		}
+		if r < n && q.better(q.items[r], q.items[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		q.swap(i, best)
+		i = best
+	}
+}

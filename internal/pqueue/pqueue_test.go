@@ -1,0 +1,149 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func drain[T any](q *Queue[T]) []float64 {
+	var out []float64
+	for q.Len() > 0 {
+		out = append(out, q.Pop().Priority)
+	}
+	return out
+}
+
+func TestMinOrder(t *testing.T) {
+	q := NewMin[string]()
+	for _, p := range []float64{5, 1, 4, 2, 3} {
+		q.Push(p, "x")
+	}
+	got := drain(q)
+	for i, want := range []float64{1, 2, 3, 4, 5} {
+		if got[i] != want {
+			t.Fatalf("min order = %v", got)
+		}
+	}
+}
+
+func TestMaxOrder(t *testing.T) {
+	q := NewMax[int]()
+	for _, p := range []float64{5, 1, 4, 2, 3} {
+		q.Push(p, 0)
+	}
+	got := drain(q)
+	for i, want := range []float64{5, 4, 3, 2, 1} {
+		if got[i] != want {
+			t.Fatalf("max order = %v", got)
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	q := NewMin[int]()
+	if q.Peek() != nil || q.Pop() != nil || q.Len() != 0 {
+		t.Fatal("empty queue misbehaves")
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	q := NewMin[int]()
+	q.Push(2, 20)
+	q.Push(1, 10)
+	if q.Peek().Value != 10 || q.Len() != 2 {
+		t.Fatal("Peek wrong")
+	}
+	if q.Pop().Value != 10 || q.Len() != 1 {
+		t.Fatal("Pop after Peek wrong")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	q := NewMin[string]()
+	a := q.Push(1, "a")
+	q.Push(2, "b")
+	q.Push(3, "c")
+	q.Update(a, 10) // a sinks to the bottom
+	if q.Peek().Value != "b" {
+		t.Fatalf("after update, top = %v", q.Peek().Value)
+	}
+	c := q.Items()
+	_ = c
+	got := drain(q)
+	if got[0] != 2 || got[1] != 3 || got[2] != 10 {
+		t.Fatalf("after update, order = %v", got)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	q := NewMax[int]()
+	q.Push(1, 1)
+	mid := q.Push(2, 2)
+	q.Push(3, 3)
+	q.Remove(mid)
+	if !mid.Detached() {
+		t.Fatal("removed item should be detached")
+	}
+	got := drain(q)
+	if len(got) != 2 || got[0] != 3 || got[1] != 1 {
+		t.Fatalf("after remove, order = %v", got)
+	}
+}
+
+func TestDetachedPanics(t *testing.T) {
+	q := NewMin[int]()
+	it := q.Push(1, 1)
+	q.Pop()
+	for _, op := range []func(){func() { q.Update(it, 2) }, func() { q.Remove(it) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic on detached item")
+				}
+			}()
+			op()
+		}()
+	}
+}
+
+// Property: popping always yields sorted priorities, under a random mix of
+// pushes, updates and removes.
+func TestRandomOperations(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := NewMin[int]()
+		var live []*Item[int]
+		for op := 0; op < 300; op++ {
+			switch r := rng.Intn(4); {
+			case r == 0 && len(live) > 0: // remove
+				i := rng.Intn(len(live))
+				q.Remove(live[i])
+				live = append(live[:i], live[i+1:]...)
+			case r == 1 && len(live) > 0: // update
+				q.Update(live[rng.Intn(len(live))], rng.NormFloat64()*100)
+			default: // push
+				live = append(live, q.Push(rng.NormFloat64()*100, op))
+			}
+		}
+		var want []float64
+		for _, it := range live {
+			want = append(want, it.Priority)
+		}
+		sort.Float64s(want)
+		got := drain(q)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

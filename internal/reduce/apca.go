@@ -1,0 +1,192 @@
+package reduce
+
+import (
+	"math"
+	"sort"
+
+	"sapla/internal/repr"
+	"sapla/internal/ts"
+)
+
+// APCA is the Adaptive Piecewise Constant Approximation of Keogh et al.
+// (SIGMOD'01): an orthonormal Haar transform keeps the N = M/2 largest
+// coefficients, the truncated reconstruction's plateaus seed the segment
+// boundaries, and adjacent segments are merged (or long ones split) until
+// exactly N remain; each final segment takes the mean of the original points
+// it covers. O(n log n).
+type APCA struct{}
+
+// NewAPCA returns the APCA method.
+func NewAPCA() *APCA { return &APCA{} }
+
+// Name implements Method.
+func (*APCA) Name() string { return "APCA" }
+
+// Reduce implements Method.
+func (*APCA) Reduce(c ts.Series, m int) (repr.Representation, error) {
+	if err := validate(c); err != nil {
+		return nil, err
+	}
+	nSeg, err := segmentsFor("APCA", m, len(c), 2, 1)
+	if err != nil {
+		return nil, err
+	}
+	n := len(c)
+
+	// 1. Pad to a power of two with the last value and Haar-transform.
+	padded := padPow2(c)
+	coefs := haar(padded)
+
+	// 2. Keep the nSeg largest-magnitude coefficients (the orthonormal
+	// transform makes magnitude selection L2-optimal).
+	keepLargest(coefs, nSeg)
+
+	// 3. Invert and read plateau boundaries off the truncated reconstruction.
+	rec := invHaar(coefs)
+	bounds := plateauEndpoints(rec[:n])
+
+	// 4. Adjust to exactly nSeg segments.
+	p := ts.NewPrefix(c)
+	bounds = mergeToCount(p, bounds, nSeg)
+	bounds = splitToCount(bounds, nSeg)
+
+	// 5. Final segment values are the original means.
+	out := repr.Constant{N: n, Segs: make([]repr.ConstSeg, len(bounds))}
+	start := 0
+	for i, r := range bounds {
+		out.Segs[i] = repr.ConstSeg{V: p.Sum(start, r+1) / float64(r+1-start), R: r}
+		start = r + 1
+	}
+	return out, nil
+}
+
+// padPow2 copies c, extending it to the next power of two with the final
+// value.
+func padPow2(c ts.Series) ts.Series {
+	n := 1
+	for n < len(c) {
+		n <<= 1
+	}
+	out := make(ts.Series, n)
+	copy(out, c)
+	for i := len(c); i < n; i++ {
+		out[i] = c[len(c)-1]
+	}
+	return out
+}
+
+// haar computes the orthonormal Haar transform in place-order
+// [approx, detail_level1..], length must be a power of two.
+func haar(c ts.Series) []float64 {
+	n := len(c)
+	out := append([]float64(nil), c...)
+	tmp := make([]float64, n)
+	for length := n; length > 1; length /= 2 {
+		half := length / 2
+		for i := 0; i < half; i++ {
+			a, b := out[2*i], out[2*i+1]
+			tmp[i] = (a + b) / math.Sqrt2
+			tmp[half+i] = (a - b) / math.Sqrt2
+		}
+		copy(out[:length], tmp[:length])
+	}
+	return out
+}
+
+// invHaar inverts haar.
+func invHaar(coefs []float64) ts.Series {
+	n := len(coefs)
+	out := append(ts.Series(nil), coefs...)
+	tmp := make([]float64, n)
+	for length := 2; length <= n; length *= 2 {
+		half := length / 2
+		for i := 0; i < half; i++ {
+			s, d := out[i], out[half+i]
+			tmp[2*i] = (s + d) / math.Sqrt2
+			tmp[2*i+1] = (s - d) / math.Sqrt2
+		}
+		copy(out[:length], tmp[:length])
+	}
+	return out
+}
+
+// keepLargest zeroes all but the k largest-magnitude entries.
+func keepLargest(coefs []float64, k int) {
+	if k >= len(coefs) {
+		return
+	}
+	idx := make([]int, len(coefs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return math.Abs(coefs[idx[a]]) > math.Abs(coefs[idx[b]])
+	})
+	for _, i := range idx[k:] {
+		coefs[i] = 0
+	}
+}
+
+// plateauEndpoints returns the inclusive right endpoints of maximal constant
+// runs of rec.
+func plateauEndpoints(rec ts.Series) []int {
+	var out []int
+	for i := 1; i < len(rec); i++ {
+		if math.Abs(rec[i]-rec[i-1]) > 1e-9 {
+			out = append(out, i-1)
+		}
+	}
+	return append(out, len(rec)-1)
+}
+
+// constSSE is the residual of the best constant over [lo, hi) in O(1).
+func constSSE(p *ts.Prefix, lo, hi int) float64 {
+	l, s0, _, s2 := p.Window(lo, hi)
+	r := s2 - s0*s0/float64(l)
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// mergeToCount merges the adjacent pair with the smallest SSE increase until
+// at most want segments remain.
+func mergeToCount(p *ts.Prefix, bounds []int, want int) []int {
+	for len(bounds) > want {
+		bestI, bestCost := -1, math.Inf(1)
+		start := 0
+		for i := 0; i+1 < len(bounds); i++ {
+			mid, end := bounds[i], bounds[i+1]
+			cost := constSSE(p, start, end+1) - constSSE(p, start, mid+1) - constSSE(p, mid+1, end+1)
+			if cost < bestCost {
+				bestCost, bestI = cost, i
+			}
+			start = mid + 1
+		}
+		bounds = append(bounds[:bestI], bounds[bestI+1:]...)
+	}
+	return bounds
+}
+
+// splitToCount splits the longest segment at its midpoint until at least
+// want segments exist (or no segment can be split further).
+func splitToCount(bounds []int, want int) []int {
+	for len(bounds) < want {
+		bestI, bestLen, start := -1, 1, 0
+		s := 0
+		for i, r := range bounds {
+			if l := r - s + 1; l > bestLen {
+				bestLen, bestI, start = l, i, s
+			}
+			s = r + 1
+		}
+		if bestI < 0 {
+			break // nothing splittable
+		}
+		mid := start + bestLen/2 - 1
+		bounds = append(bounds, 0)
+		copy(bounds[bestI+1:], bounds[bestI:])
+		bounds[bestI] = mid
+	}
+	return bounds
+}

@@ -1,0 +1,123 @@
+package reduce
+
+import (
+	"math"
+
+	"sapla/internal/repr"
+	"sapla/internal/segment"
+	"sapla/internal/ts"
+)
+
+// ErrorKind selects the per-segment error the APLA dynamic program
+// minimises.
+type ErrorKind int
+
+const (
+	// MaxDev minimises the sum of segment max deviations, the objective the
+	// paper quotes for APLA (guaranteed error bounds, O(Nn²) DP over an
+	// O(n³)-ish error table — the slowness SAPLA exists to fix).
+	MaxDev ErrorKind = iota
+	// SumSq minimises the residual sum of squares, evaluable in O(1) per
+	// candidate segment; a fast variant for large-n runs.
+	SumSq
+)
+
+// APLA is the Adaptive Piecewise Linear Approximation baseline [17]: an
+// exact dynamic program ϖ[m,t] = min_α(ϖ[α,t−1] + ε(α+1..m)) over
+// N = M/3 adaptive linear segments.
+type APLA struct {
+	// Error selects the segment error measure (default MaxDev, as in the
+	// paper).
+	Error ErrorKind
+}
+
+// NewAPLA returns the APLA method with the paper's max-deviation objective.
+func NewAPLA() *APLA { return &APLA{Error: MaxDev} }
+
+// Name implements Method.
+func (*APLA) Name() string { return "APLA" }
+
+// Reduce implements Method.
+func (a *APLA) Reduce(c ts.Series, m int) (repr.Representation, error) {
+	if err := validate(c); err != nil {
+		return nil, err
+	}
+	nSeg, err := segmentsFor("APLA", m, len(c), 3, 1)
+	if err != nil {
+		return nil, err
+	}
+	endpoints := a.segmentDP(c, nSeg)
+	return repr.FitLinear(c, endpoints), nil
+}
+
+// segmentDP runs the dynamic program and returns the optimal right
+// endpoints.
+func (a *APLA) segmentDP(c ts.Series, nSeg int) []int {
+	n := len(c)
+	if nSeg >= n {
+		// Degenerate: one point per segment (zero error); emit n segments
+		// capped at nSeg by covering the tail with the last one.
+		nSeg = n
+	}
+	errTab := a.errorTable(c)
+	err := func(s, e int) float64 { return errTab[s][e-s] }
+
+	// Layer 1: one segment covering 0..m.
+	prev := make([]float64, n)
+	for m := 0; m < n; m++ {
+		prev[m] = err(0, m)
+	}
+	// choice[t][m] = best α (last endpoint of the first t segments).
+	choice := make([][]int32, nSeg+1)
+	cur := make([]float64, n)
+	for t := 2; t <= nSeg; t++ {
+		choice[t] = make([]int32, n)
+		for m := 0; m < n; m++ {
+			cur[m] = math.Inf(1)
+			choice[t][m] = -1
+			if m < t-1 {
+				continue // fewer points than segments
+			}
+			for alpha := t - 2; alpha < m; alpha++ {
+				if v := prev[alpha] + err(alpha+1, m); v < cur[m] {
+					cur[m] = v
+					choice[t][m] = int32(alpha)
+				}
+			}
+		}
+		prev, cur = cur, prev
+	}
+
+	// Backtrack from ϖ[n−1, nSeg].
+	endpoints := make([]int, nSeg)
+	endpoints[nSeg-1] = n - 1
+	m := n - 1
+	for t := nSeg; t >= 2; t-- {
+		m = int(choice[t][m])
+		endpoints[t-2] = m
+	}
+	return endpoints
+}
+
+// errorTable computes err[s][k] = error of a single linear segment over
+// c[s..s+k] for every window.
+func (a *APLA) errorTable(c ts.Series) [][]float64 {
+	n := len(c)
+	p := ts.NewPrefix(c)
+	tab := make([][]float64, n)
+	for s := 0; s < n; s++ {
+		row := make([]float64, n-s)
+		for e := s; e < n; e++ {
+			l, s0, s1, s2 := p.Window(s, e+1)
+			ln := segment.Fit(l, s0, s1)
+			switch a.Error {
+			case SumSq:
+				row[e-s] = segment.SSE(ln, l, s0, s1, s2)
+			default:
+				row[e-s] = segment.ExactMaxDeviation(c[s:e+1], ln)
+			}
+		}
+		tab[s] = row
+	}
+	return tab
+}

@@ -1,0 +1,61 @@
+package reduce
+
+import (
+	"math"
+
+	"sapla/internal/repr"
+	"sapla/internal/ts"
+)
+
+// CHEBY approximates the series by a truncated Chebyshev expansion with
+// M coefficients (Cai & Ng, SIGMOD'04): the series is treated as a function
+// on [−1, 1], evaluated at Gauss–Chebyshev nodes via nearest-sample lookup,
+// and the coefficients come from the discrete cosine-form quadrature.
+// O(Nn). The paper notes CHEBY degrades ("dimensionality curse") when the
+// coefficient count exceeds ~25; no cap is imposed here so that behaviour is
+// reproducible.
+type CHEBY struct{}
+
+// NewCHEBY returns the CHEBY method.
+func NewCHEBY() *CHEBY { return &CHEBY{} }
+
+// Name implements Method.
+func (*CHEBY) Name() string { return "CHEBY" }
+
+// Reduce implements Method.
+func (*CHEBY) Reduce(c ts.Series, m int) (repr.Representation, error) {
+	if err := validate(c); err != nil {
+		return nil, err
+	}
+	if m < 1 {
+		return nil, budgetErr("CHEBY", m, len(c), 1)
+	}
+	n := len(c)
+	if m > n {
+		m = n
+	}
+	coefs := make([]float64, m)
+	// Gauss–Chebyshev quadrature with K = n nodes; each node reads the
+	// nearest original sample (the series as an interval function).
+	for k := 0; k < n; k++ {
+		theta := math.Pi * (float64(k) + 0.5) / float64(n)
+		x := math.Cos(theta)
+		// Invert the sample mapping x_t = 2(t+½)/n − 1.
+		t := int(math.Round((x+1)/2*float64(n) - 0.5))
+		if t < 0 {
+			t = 0
+		}
+		if t >= n {
+			t = n - 1
+		}
+		f := c[t]
+		for j := 0; j < m; j++ {
+			coefs[j] += f * math.Cos(float64(j)*theta)
+		}
+	}
+	for j := range coefs {
+		coefs[j] *= 2 / float64(n)
+	}
+	coefs[0] /= 2 // fold the ½ factor of the T_0 term into storage
+	return repr.Cheby{N: n, Coefs: coefs}, nil
+}

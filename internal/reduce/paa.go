@@ -1,0 +1,42 @@
+package reduce
+
+import (
+	"sapla/internal/repr"
+	"sapla/internal/ts"
+)
+
+// PAA is Piecewise Aggregate Approximation (Keogh et al. 2001): the mean of
+// each of N = M equal frames. O(n).
+type PAA struct{}
+
+// NewPAA returns the PAA method.
+func NewPAA() *PAA { return &PAA{} }
+
+// Name implements Method.
+func (*PAA) Name() string { return "PAA" }
+
+// Reduce implements Method.
+func (*PAA) Reduce(c ts.Series, m int) (repr.Representation, error) {
+	if err := validate(c); err != nil {
+		return nil, err
+	}
+	nSeg, err := segmentsFor("PAA", m, len(c), 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	return paaValues(c, nSeg), nil
+}
+
+// paaValues computes the frame means; shared with SAX and PAALM.
+func paaValues(c ts.Series, nSeg int) repr.PAA {
+	out := repr.PAA{N: len(c), Values: make([]float64, nSeg)}
+	for i := 0; i < nSeg; i++ {
+		lo, hi := repr.FrameBounds(len(c), nSeg, i)
+		var sum float64
+		for t := lo; t < hi; t++ {
+			sum += c[t]
+		}
+		out.Values[i] = sum / float64(hi-lo)
+	}
+	return out
+}

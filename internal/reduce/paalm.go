@@ -1,0 +1,81 @@
+package reduce
+
+import (
+	"sapla/internal/repr"
+	"sapla/internal/ts"
+)
+
+// PAALM is the PAA-with-Lagrangian-multipliers baseline [21]: frame
+// aggregates are coupled through a Lagrangian smoothness term so the result
+// represents continuous patterns rather than minimising deviation. The
+// representation solves
+//
+//	min Σ_i Σ_{t∈frame i} (c_t − v_i)² + λ Σ_i (v_i − v_{i−1})²
+//
+// via the tridiagonal normal equations (Thomas algorithm). As in the paper,
+// PAALM trades max deviation away for pattern smoothness; it is evaluated to
+// show why max deviation matters.
+type PAALM struct {
+	// Lambda is the smoothing multiplier; 0 selects the default (one frame
+	// length), which couples neighbouring frames strongly.
+	Lambda float64
+}
+
+// NewPAALM returns the PAALM method with the default multiplier.
+func NewPAALM() *PAALM { return &PAALM{} }
+
+// Name implements Method.
+func (*PAALM) Name() string { return "PAALM" }
+
+// Reduce implements Method.
+func (p *PAALM) Reduce(c ts.Series, m int) (repr.Representation, error) {
+	if err := validate(c); err != nil {
+		return nil, err
+	}
+	nSeg, err := segmentsFor("PAALM", m, len(c), 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	base := paaValues(c, nSeg)
+	lambda := p.Lambda
+	if lambda <= 0 {
+		lambda = float64(len(c)) / float64(nSeg)
+	}
+
+	// Normal equations: (l_i + λ·deg_i)·v_i − λ·v_{i−1} − λ·v_{i+1} = l_i·mean_i,
+	// where deg_i is the number of neighbours of frame i.
+	k := nSeg
+	diag := make([]float64, k)
+	rhs := make([]float64, k)
+	for i := 0; i < k; i++ {
+		lo, hi := repr.FrameBounds(len(c), k, i)
+		li := float64(hi - lo)
+		deg := 2.0
+		if i == 0 || i == k-1 {
+			deg = 1
+		}
+		if k == 1 {
+			deg = 0
+		}
+		diag[i] = li + lambda*deg
+		rhs[i] = li * base.Values[i]
+	}
+	// Thomas algorithm with constant off-diagonal −λ.
+	cp := make([]float64, k)
+	dp := make([]float64, k)
+	cp[0] = -lambda / diag[0]
+	dp[0] = rhs[0] / diag[0]
+	for i := 1; i < k; i++ {
+		den := diag[i] + lambda*cp[i-1]
+		if i < k-1 {
+			cp[i] = -lambda / den
+		}
+		dp[i] = (rhs[i] + lambda*dp[i-1]) / den
+	}
+	vals := make([]float64, k)
+	vals[k-1] = dp[k-1]
+	for i := k - 2; i >= 0; i-- {
+		vals[i] = dp[i] - cp[i]*vals[i+1]
+	}
+	return repr.PAA{N: len(c), Values: vals}, nil
+}

@@ -1,0 +1,35 @@
+package reduce
+
+import (
+	"sapla/internal/repr"
+	"sapla/internal/ts"
+)
+
+// PLA is the equal-length Piecewise Linear Approximation of Chen et al.
+// (VLDB'07): the series is cut into N = M/2 equal frames and each frame is
+// replaced by its least-squares line (paper Eq. (1)). O(n).
+type PLA struct{}
+
+// NewPLA returns the PLA method.
+func NewPLA() *PLA { return &PLA{} }
+
+// Name implements Method.
+func (*PLA) Name() string { return "PLA" }
+
+// Reduce implements Method. The result is a repr.Linear with equal-length
+// segments (M = 2N coefficients; the fixed endpoints carry no information).
+func (*PLA) Reduce(c ts.Series, m int) (repr.Representation, error) {
+	if err := validate(c); err != nil {
+		return nil, err
+	}
+	nSeg, err := segmentsFor("PLA", m, len(c), 2, 1)
+	if err != nil {
+		return nil, err
+	}
+	endpoints := make([]int, nSeg)
+	for i := 0; i < nSeg; i++ {
+		_, hi := repr.FrameBounds(len(c), nSeg, i)
+		endpoints[i] = hi - 1
+	}
+	return repr.FitLinear(c, endpoints), nil
+}

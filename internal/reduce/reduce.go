@@ -1,0 +1,72 @@
+// Package reduce implements the seven baseline dimensionality-reduction
+// methods the paper compares SAPLA against (Table 1): PLA, PAA, APCA, APLA,
+// CHEBY, PAALM and SAX. Each method reduces an n-point series to a
+// representation with a user-chosen coefficient budget M; the number of
+// segments N each method derives from M follows Table 1 (N = M/3 for
+// adaptive linear, M/2 for APCA and PLA, M for the rest).
+//
+// SAPLA itself lives in sapla/internal/core and implements the same Method
+// interface.
+package reduce
+
+import (
+	"errors"
+	"fmt"
+
+	"sapla/internal/repr"
+	"sapla/internal/ts"
+)
+
+// Method is a dimensionality-reduction method.
+type Method interface {
+	// Name returns the method's short name as used in the paper
+	// ("PLA", "PAA", "APCA", "APLA", "CHEBY", "PAALM", "SAX", "SAPLA").
+	Name() string
+	// Reduce reduces c to a representation with coefficient budget m
+	// (the paper's M). Implementations derive their segment count from m.
+	Reduce(c ts.Series, m int) (repr.Representation, error)
+}
+
+// ErrBudget is wrapped by errors reporting an unusable coefficient budget
+// for the given series length.
+var ErrBudget = errors.New("reduce: unusable coefficient budget")
+
+// budgetErr formats a budget error for a method.
+func budgetErr(method string, m, n int, per int) error {
+	return fmt.Errorf("%w: %s needs %d coefficients per segment, got M=%d for n=%d",
+		ErrBudget, method, per, m, n)
+}
+
+// segmentsFor converts a coefficient budget into a segment count with the
+// given coefficients-per-segment ratio, validating it against the series
+// length. Adaptive and linear methods need at least 2 points per segment.
+func segmentsFor(method string, m, n, per int, minPointsPerSeg int) (int, error) {
+	if m < per {
+		return 0, budgetErr(method, m, n, per)
+	}
+	nSeg := m / per
+	if nSeg < 1 || nSeg*minPointsPerSeg > n {
+		return 0, fmt.Errorf("%w: %s cannot place %d segments over %d points",
+			ErrBudget, method, nSeg, n)
+	}
+	return nSeg, nil
+}
+
+// validate rejects series a reducer cannot process.
+func validate(c ts.Series) error {
+	return c.Validate()
+}
+
+// Baselines returns a fresh instance of every baseline method, in the
+// paper's comparison order.
+func Baselines() []Method {
+	return []Method{
+		NewAPLA(),
+		NewAPCA(),
+		NewPLA(),
+		NewPAA(),
+		NewPAALM(),
+		NewCHEBY(),
+		NewSAX(),
+	}
+}

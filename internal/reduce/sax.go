@@ -1,0 +1,49 @@
+package reduce
+
+import (
+	"sort"
+
+	"sapla/internal/repr"
+	"sapla/internal/ts"
+)
+
+// DefaultAlphabet is the SAX alphabet size used when none is configured.
+const DefaultAlphabet = 8
+
+// SAX is the Symbolic Aggregate Approximation (Lin et al. 2003):
+// z-normalise, PAA into N = M frames, then discretise each frame mean into
+// one of Alphabet equiprobable standard-normal regions. O(n).
+type SAX struct {
+	// Alphabet is the symbol cardinality (default DefaultAlphabet).
+	Alphabet int
+}
+
+// NewSAX returns the SAX method with the default alphabet.
+func NewSAX() *SAX { return &SAX{Alphabet: DefaultAlphabet} }
+
+// Name implements Method.
+func (*SAX) Name() string { return "SAX" }
+
+// Reduce implements Method.
+func (s *SAX) Reduce(c ts.Series, m int) (repr.Representation, error) {
+	if err := validate(c); err != nil {
+		return nil, err
+	}
+	nSeg, err := segmentsFor("SAX", m, len(c), 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	a := s.Alphabet
+	if a < 2 {
+		a = DefaultAlphabet
+	}
+	mu, sigma := c.Mean(), c.Std()
+	z := c.ZNormalize()
+	paa := paaValues(z, nSeg)
+	bp := repr.Breakpoints(a)
+	w := repr.Word{N: len(c), Alphabet: a, Symbols: make([]int, nSeg), Mu: mu, Sigma: sigma}
+	for i, v := range paa.Values {
+		w.Symbols[i] = sort.SearchFloat64s(bp, v) // count of breakpoints ≤ v
+	}
+	return w, nil
+}

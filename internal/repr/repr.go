@@ -1,0 +1,190 @@
+// Package repr defines the reduced representations produced by the
+// dimensionality-reduction methods (paper Table 1) and their shared
+// behaviour: reconstruction back to a full-length series and flattening to
+// the coefficient vectors used for indexing.
+package repr
+
+import (
+	"fmt"
+
+	"sapla/internal/segment"
+	"sapla/internal/ts"
+)
+
+// Representation is a reduced form of an n-point time series.
+type Representation interface {
+	// Reconstruct returns the length-n reconstructed series Č
+	// (paper Definition 3.3).
+	Reconstruct() ts.Series
+	// Coeffs returns the flat representation-coefficient vector used as the
+	// indexing feature vector. Its length is the paper's M.
+	Coeffs() []float64
+	// Segments returns the number of segments N (or coefficient count for
+	// non-segmented methods).
+	Segments() int
+	// Len returns the original series length n.
+	Len() int
+}
+
+// LinearSeg is one adaptive-length linear segment ⟨aᵢ, bᵢ, rᵢ⟩
+// (paper Definition 3.2): Line evaluated on local time over
+// [start, R], where start is the previous segment's R+1.
+type LinearSeg struct {
+	Line segment.Line
+	R    int // right endpoint, inclusive global index
+}
+
+// Linear is an adaptive-length piecewise-linear representation, produced by
+// SAPLA and APLA (and, with equal endpoints, PLA).
+type Linear struct {
+	N    int // original series length n
+	Segs []LinearSeg
+}
+
+// Start returns the global start index of segment i.
+func (r Linear) Start(i int) int {
+	if i == 0 {
+		return 0
+	}
+	return r.Segs[i-1].R + 1
+}
+
+// SegLen returns the number of points of segment i.
+func (r Linear) SegLen(i int) int { return r.Segs[i].R - r.Start(i) + 1 }
+
+// Endpoints returns the right endpoints r_0..r_{N−1}.
+func (r Linear) Endpoints() []int {
+	out := make([]int, len(r.Segs))
+	for i, s := range r.Segs {
+		out[i] = s.R
+	}
+	return out
+}
+
+// Reconstruct implements Representation.
+func (r Linear) Reconstruct() ts.Series {
+	out := make(ts.Series, 0, r.N)
+	for i, s := range r.Segs {
+		out = s.Line.Reconstruct(out, r.SegLen(i))
+	}
+	return out
+}
+
+// Coeffs implements Representation: ⟨aᵢ, bᵢ, rᵢ⟩ triples, M = 3N.
+func (r Linear) Coeffs() []float64 {
+	out := make([]float64, 0, 3*len(r.Segs))
+	for _, s := range r.Segs {
+		out = append(out, s.Line.A, s.Line.B, float64(s.R))
+	}
+	return out
+}
+
+// Segments implements Representation.
+func (r Linear) Segments() int { return len(r.Segs) }
+
+// Len implements Representation.
+func (r Linear) Len() int { return r.N }
+
+// Validate checks structural invariants: endpoints strictly increasing, the
+// last one equal to n−1, and every segment non-empty.
+func (r Linear) Validate() error {
+	if len(r.Segs) == 0 {
+		return fmt.Errorf("repr: no segments")
+	}
+	prev := -1
+	for i, s := range r.Segs {
+		if s.R <= prev {
+			return fmt.Errorf("repr: segment %d endpoint %d not increasing (prev %d)", i, s.R, prev)
+		}
+		prev = s.R
+	}
+	if prev != r.N-1 {
+		return fmt.Errorf("repr: last endpoint %d != n-1 = %d", prev, r.N-1)
+	}
+	return nil
+}
+
+// FitLinear builds the least-squares Linear representation of c with the
+// given right endpoints (each inclusive; the last must be len(c)−1).
+func FitLinear(c ts.Series, endpoints []int) Linear {
+	p := ts.NewPrefix(c)
+	return FitLinearPrefix(p, endpoints)
+}
+
+// FitLinearPrefix is FitLinear when a prefix structure already exists.
+func FitLinearPrefix(p *ts.Prefix, endpoints []int) Linear {
+	out := Linear{N: p.Len(), Segs: make([]LinearSeg, 0, len(endpoints))}
+	start := 0
+	for _, r := range endpoints {
+		out.Segs = append(out.Segs, LinearSeg{Line: segment.FitWindow(p, start, r+1), R: r})
+		start = r + 1
+	}
+	return out
+}
+
+// ConstSeg is one adaptive-length constant segment ⟨vᵢ, rᵢ⟩ (APCA).
+type ConstSeg struct {
+	V float64
+	R int // right endpoint, inclusive global index
+}
+
+// Constant is an adaptive-length piecewise-constant representation (APCA).
+type Constant struct {
+	N    int
+	Segs []ConstSeg
+}
+
+// Start returns the global start index of segment i.
+func (r Constant) Start(i int) int {
+	if i == 0 {
+		return 0
+	}
+	return r.Segs[i-1].R + 1
+}
+
+// SegLen returns the number of points of segment i.
+func (r Constant) SegLen(i int) int { return r.Segs[i].R - r.Start(i) + 1 }
+
+// Reconstruct implements Representation.
+func (r Constant) Reconstruct() ts.Series {
+	out := make(ts.Series, 0, r.N)
+	for i, s := range r.Segs {
+		for t := 0; t < r.SegLen(i); t++ {
+			out = append(out, s.V)
+		}
+	}
+	return out
+}
+
+// Coeffs implements Representation: ⟨vᵢ, rᵢ⟩ pairs, M = 2N.
+func (r Constant) Coeffs() []float64 {
+	out := make([]float64, 0, 2*len(r.Segs))
+	for _, s := range r.Segs {
+		out = append(out, s.V, float64(s.R))
+	}
+	return out
+}
+
+// Segments implements Representation.
+func (r Constant) Segments() int { return len(r.Segs) }
+
+// Len implements Representation.
+func (r Constant) Len() int { return r.N }
+
+// ToLinear converts the constant representation into the equivalent Linear
+// one (zero slopes), so the adaptive-length distance machinery (Dist_PAR,
+// Dist_LB, DBCH) applies to APCA as well.
+func (r Constant) ToLinear() Linear {
+	out := Linear{N: r.N, Segs: make([]LinearSeg, len(r.Segs))}
+	for i, s := range r.Segs {
+		out.Segs[i] = LinearSeg{Line: segment.Line{A: 0, B: s.V}, R: s.R}
+	}
+	return out
+}
+
+// FrameBounds returns the half-open range [lo, hi) of equal-length frame i
+// of N frames over n points, distributing remainders evenly (the convention
+// used by every equal-length method in this repository).
+func FrameBounds(n, frames, i int) (lo, hi int) {
+	return i * n / frames, (i + 1) * n / frames
+}

@@ -1,0 +1,253 @@
+package repr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sapla/internal/segment"
+	"sapla/internal/ts"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestLinearBasics(t *testing.T) {
+	// Two segments over 6 points: 0..2 on line t, 3..5 on constant 7.
+	r := Linear{N: 6, Segs: []LinearSeg{
+		{Line: segment.Line{A: 1, B: 0}, R: 2},
+		{Line: segment.Line{A: 0, B: 7}, R: 5},
+	}}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Start(0) != 0 || r.Start(1) != 3 {
+		t.Fatal("Start wrong")
+	}
+	if r.SegLen(0) != 3 || r.SegLen(1) != 3 {
+		t.Fatal("SegLen wrong")
+	}
+	got := r.Reconstruct()
+	want := ts.Series{0, 1, 2, 7, 7, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Reconstruct = %v", got)
+		}
+	}
+	co := r.Coeffs()
+	if len(co) != 6 || co[0] != 1 || co[1] != 0 || co[2] != 2 || co[5] != 5 {
+		t.Fatalf("Coeffs = %v", co)
+	}
+	if r.Segments() != 2 || r.Len() != 6 {
+		t.Fatal("Segments/Len wrong")
+	}
+	ep := r.Endpoints()
+	if len(ep) != 2 || ep[0] != 2 || ep[1] != 5 {
+		t.Fatalf("Endpoints = %v", ep)
+	}
+}
+
+func TestLinearValidateErrors(t *testing.T) {
+	cases := []Linear{
+		{N: 5},
+		{N: 5, Segs: []LinearSeg{{R: 2}, {R: 2}}},
+		{N: 5, Segs: []LinearSeg{{R: 3}}},
+		{N: 5, Segs: []LinearSeg{{R: 2}, {R: 1}}},
+	}
+	for i, r := range cases {
+		if r.Validate() == nil {
+			t.Fatalf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestFitLinearMatchesDirectFits(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := make(ts.Series, 40)
+	for i := range c {
+		c[i] = rng.NormFloat64() * 5
+	}
+	eps := []int{9, 14, 27, 39}
+	r := FitLinear(c, eps)
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	start := 0
+	for i, e := range eps {
+		want := segment.FitSlice(c[start : e+1])
+		got := r.Segs[i].Line
+		if !almostEq(got.A, want.A, 1e-9) || !almostEq(got.B, want.B, 1e-9) {
+			t.Fatalf("segment %d fit mismatch", i)
+		}
+		start = e + 1
+	}
+}
+
+func TestConstantBasics(t *testing.T) {
+	r := Constant{N: 5, Segs: []ConstSeg{{V: 2, R: 1}, {V: 9, R: 4}}}
+	got := r.Reconstruct()
+	want := ts.Series{2, 2, 9, 9, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Reconstruct = %v", got)
+		}
+	}
+	if r.Segments() != 2 || r.Len() != 5 || r.SegLen(1) != 3 {
+		t.Fatal("metadata wrong")
+	}
+	co := r.Coeffs()
+	if len(co) != 4 || co[0] != 2 || co[1] != 1 || co[2] != 9 || co[3] != 4 {
+		t.Fatalf("Coeffs = %v", co)
+	}
+	lin := r.ToLinear()
+	rec := lin.Reconstruct()
+	for i := range want {
+		if rec[i] != want[i] {
+			t.Fatalf("ToLinear Reconstruct = %v", rec)
+		}
+	}
+}
+
+func TestFrameBounds(t *testing.T) {
+	// Frames tile the series exactly, in order, never empty when N >= frames.
+	for _, n := range []int{10, 17, 1024} {
+		for _, f := range []int{1, 3, 4, 7, 10} {
+			prev := 0
+			for i := 0; i < f; i++ {
+				lo, hi := FrameBounds(n, f, i)
+				if lo != prev {
+					t.Fatalf("frame %d/%d of %d: lo=%d, want %d", i, f, n, lo, prev)
+				}
+				if hi <= lo {
+					t.Fatalf("frame %d/%d of %d empty", i, f, n)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("frames of %d/%d do not tile: end=%d", n, f, prev)
+			}
+		}
+	}
+}
+
+func TestPAAReconstruct(t *testing.T) {
+	r := PAA{N: 6, Values: []float64{1, 2, 3}}
+	got := r.Reconstruct()
+	want := ts.Series{1, 1, 2, 2, 3, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Reconstruct = %v", got)
+		}
+	}
+	if r.Segments() != 3 || r.Len() != 6 || len(r.Coeffs()) != 3 {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestChebyEvalMatchesRecurrence(t *testing.T) {
+	// T_0=1, T_1=x, T_2=2x²−1, T_3=4x³−3x.
+	coefs := []float64{0.5, -1, 2, 0.25}
+	for _, x := range []float64{-1, -0.3, 0, 0.77, 1} {
+		want := 0.5 - x + 2*(2*x*x-1) + 0.25*(4*x*x*x-3*x)
+		if got := ChebyEval(coefs, x); !almostEq(got, want, 1e-12) {
+			t.Fatalf("ChebyEval(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestChebyReconstructConstant(t *testing.T) {
+	r := Cheby{N: 8, Coefs: []float64{5}}
+	for _, v := range r.Reconstruct() {
+		if v != 5 {
+			t.Fatal("constant Chebyshev reconstruction wrong")
+		}
+	}
+}
+
+func TestBreakpoints(t *testing.T) {
+	bp := Breakpoints(4)
+	if len(bp) != 3 {
+		t.Fatalf("len = %d", len(bp))
+	}
+	// Standard SAX table for a=4: −0.6745, 0, 0.6745.
+	if !almostEq(bp[0], -0.6744897501960817, 1e-9) || !almostEq(bp[1], 0, 1e-9) || !almostEq(bp[2], 0.6744897501960817, 1e-9) {
+		t.Fatalf("breakpoints = %v", bp)
+	}
+	if Breakpoints(1) != nil {
+		t.Fatal("alphabet 1 should have no breakpoints")
+	}
+	// Monotone for larger alphabets.
+	bp8 := Breakpoints(8)
+	for i := 1; i < len(bp8); i++ {
+		if bp8[i] <= bp8[i-1] {
+			t.Fatalf("breakpoints not increasing: %v", bp8)
+		}
+	}
+}
+
+func TestSymbolValueOrdering(t *testing.T) {
+	bp := Breakpoints(6)
+	prev := math.Inf(-1)
+	for s := 0; s < 6; s++ {
+		v := SymbolValue(bp, s)
+		if v <= prev {
+			t.Fatalf("symbol values not increasing at %d", s)
+		}
+		prev = v
+	}
+	if SymbolValue(nil, 0) != 0 {
+		t.Fatal("empty breakpoints should give 0")
+	}
+}
+
+func TestWordReconstructScale(t *testing.T) {
+	w := Word{N: 4, Alphabet: 4, Symbols: []int{0, 1, 2, 3}, Mu: 10, Sigma: 2}
+	rec := w.Reconstruct()
+	// Reconstruction must be increasing and centred near Mu.
+	for i := 1; i < len(rec); i++ {
+		if rec[i] <= rec[i-1] {
+			t.Fatalf("reconstruction not increasing: %v", rec)
+		}
+	}
+	if rec.Mean() < 8 || rec.Mean() > 12 {
+		t.Fatalf("reconstruction mean = %v, want near 10", rec.Mean())
+	}
+	if w.Segments() != 4 || w.Len() != 4 {
+		t.Fatal("metadata wrong")
+	}
+	co := w.Coeffs()
+	if co[3] != 3 {
+		t.Fatalf("Coeffs = %v", co)
+	}
+}
+
+// Property: FitLinear reconstruction error is never worse than the
+// single-segment fit (more segments can only help the least-squares error).
+func TestMoreSegmentsNeverHurtSSE(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(60)
+		c := make(ts.Series, n)
+		for i := range c {
+			c[i] = rng.NormFloat64() * 4
+		}
+		one := FitLinear(c, []int{n - 1})
+		mid := n/2 - 1
+		two := FitLinear(c, []int{mid, n - 1})
+		sse := func(r Linear) float64 {
+			rec := r.Reconstruct()
+			var s float64
+			for i := range c {
+				d := c[i] - rec[i]
+				s += d * d
+			}
+			return s
+		}
+		return sse(two) <= sse(one)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+package repr
+
+import (
+	"math"
+
+	"sapla/internal/ts"
+)
+
+// PAA is an equal-length piecewise-aggregate representation: one mean value
+// per frame. It is also the carrier for PAALM's pattern values.
+type PAA struct {
+	N      int
+	Values []float64
+}
+
+// Reconstruct implements Representation.
+func (r PAA) Reconstruct() ts.Series {
+	out := make(ts.Series, r.N)
+	for i, v := range r.Values {
+		lo, hi := FrameBounds(r.N, len(r.Values), i)
+		for t := lo; t < hi; t++ {
+			out[t] = v
+		}
+	}
+	return out
+}
+
+// Coeffs implements Representation.
+func (r PAA) Coeffs() []float64 { return append([]float64(nil), r.Values...) }
+
+// Segments implements Representation.
+func (r PAA) Segments() int { return len(r.Values) }
+
+// Len implements Representation.
+func (r PAA) Len() int { return r.N }
+
+// Cheby is a truncated Chebyshev-polynomial representation: the series,
+// viewed as a function on [−1, 1] sampled at t ↦ 2(t+½)/n − 1, approximated
+// by Σ_j Coefs[j]·T_j(x) (the ½-factor on the first coefficient is already
+// folded into Coefs[0]).
+type Cheby struct {
+	N     int
+	Coefs []float64
+}
+
+// ChebyEval evaluates Σ coefs[j]·T_j(x) by the Clenshaw recurrence.
+func ChebyEval(coefs []float64, x float64) float64 {
+	var b1, b2 float64
+	for j := len(coefs) - 1; j >= 1; j-- {
+		b1, b2 = 2*x*b1-b2+coefs[j], b1
+	}
+	return x*b1 - b2 + coefs[0]
+}
+
+// XAt maps sample index t of an n-point series to the Chebyshev domain.
+func XAt(n, t int) float64 { return 2*(float64(t)+0.5)/float64(n) - 1 }
+
+// Reconstruct implements Representation.
+func (r Cheby) Reconstruct() ts.Series {
+	out := make(ts.Series, r.N)
+	for t := range out {
+		out[t] = ChebyEval(r.Coefs, XAt(r.N, t))
+	}
+	return out
+}
+
+// Coeffs implements Representation.
+func (r Cheby) Coeffs() []float64 { return append([]float64(nil), r.Coefs...) }
+
+// Segments implements Representation.
+func (r Cheby) Segments() int { return len(r.Coefs) }
+
+// Len implements Representation.
+func (r Cheby) Len() int { return r.N }
+
+// Word is a SAX word: one alphabet symbol per equal-length frame over the
+// z-normalised series, together with the normalisation parameters so the
+// representation can be projected back to the raw scale.
+type Word struct {
+	N        int
+	Alphabet int
+	Symbols  []int
+	Mu       float64 // mean removed by z-normalisation
+	Sigma    float64 // deviation removed by z-normalisation (0 if constant)
+}
+
+// Breakpoints returns the a−1 standard-normal quantile breakpoints that
+// split N(0,1) into a equiprobable regions (the SAX discretisation table).
+func Breakpoints(a int) []float64 {
+	if a < 2 {
+		return nil
+	}
+	out := make([]float64, a-1)
+	for i := 1; i < a; i++ {
+		out[i-1] = math.Sqrt2 * math.Erfinv(2*float64(i)/float64(a)-1)
+	}
+	return out
+}
+
+// SymbolValue returns the representative (mid-interval) z-value of a symbol,
+// clamping the two unbounded outer intervals.
+func SymbolValue(bp []float64, sym int) float64 {
+	const edge = 3.0 // representative value for the unbounded tails
+	switch {
+	case len(bp) == 0:
+		return 0
+	case sym <= 0:
+		return (-edge + bp[0]) / 2
+	case sym >= len(bp):
+		return (bp[len(bp)-1] + edge) / 2
+	default:
+		return (bp[sym-1] + bp[sym]) / 2
+	}
+}
+
+// Reconstruct implements Representation.
+func (r Word) Reconstruct() ts.Series {
+	bp := Breakpoints(r.Alphabet)
+	out := make(ts.Series, r.N)
+	for i, s := range r.Symbols {
+		v := SymbolValue(bp, s)*r.Sigma + r.Mu
+		lo, hi := FrameBounds(r.N, len(r.Symbols), i)
+		for t := lo; t < hi; t++ {
+			out[t] = v
+		}
+	}
+	return out
+}
+
+// Coeffs implements Representation.
+func (r Word) Coeffs() []float64 {
+	out := make([]float64, len(r.Symbols))
+	for i, s := range r.Symbols {
+		out[i] = float64(s)
+	}
+	return out
+}
+
+// Segments implements Representation.
+func (r Word) Segments() int { return len(r.Symbols) }
+
+// Len implements Representation.
+func (r Word) Len() int { return r.N }

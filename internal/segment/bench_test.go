@@ -1,0 +1,82 @@
+package segment
+
+import (
+	"math/rand"
+	"testing"
+
+	"sapla/internal/ts"
+)
+
+func benchSeries(n int) ts.Series {
+	rng := rand.New(rand.NewSource(1))
+	s := make(ts.Series, n)
+	for i := range s {
+		s[i] = rng.NormFloat64() * 5
+	}
+	return s
+}
+
+func BenchmarkFitWindow(b *testing.B) {
+	s := benchSeries(4096)
+	p := ts.NewPrefix(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FitWindow(p, i%2048, i%2048+2048)
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	s := benchSeries(1024)
+	ln := FitSlice(s[:512])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Append(ln, 512, s[512+i%512])
+	}
+}
+
+func BenchmarkEq2Increment(b *testing.B) {
+	s := benchSeries(1024)
+	ln := FitSlice(s[:512])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Eq2Increment(ln, 512, s[512+i%512])
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	s := benchSeries(1024)
+	left := FitSlice(s[:512])
+	right := FitSlice(s[512:])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Merge(left, 512, right, 512)
+	}
+}
+
+func BenchmarkDistS(b *testing.B) {
+	q := Line{A: 0.5, B: 1}
+	c := Line{A: -0.25, B: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DistS(q, c, 512)
+	}
+}
+
+func BenchmarkIncrementArea(b *testing.B) {
+	s := benchSeries(256)
+	ext := FitSlice(s[:255])
+	inc := Append(ext, 255, s[255])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IncrementArea(inc, ext, 255)
+	}
+}
+
+func BenchmarkExactMaxDeviation(b *testing.B) {
+	s := benchSeries(1024)
+	ln := FitSlice(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExactMaxDeviation(s, ln)
+	}
+}

@@ -1,0 +1,116 @@
+package segment
+
+import (
+	"math"
+
+	"sapla/internal/ts"
+)
+
+// PointFn supplies the value of a (real or reconstructed) segment at a local
+// 0-based position. Algorithm 4.1's get_max is expressed over three such
+// suppliers so the same routine serves original points and line evaluations.
+type PointFn func(t int) float64
+
+// SlicePoints adapts a slice of original points to a PointFn.
+func SlicePoints(c ts.Series) PointFn { return func(t int) float64 { return c[t] } }
+
+// LinePoints adapts a fitted line to a PointFn.
+func LinePoints(ln Line) PointFn { return ln.Eval }
+
+// GetMax is Algorithm 4.1: the maximum absolute pairwise difference between
+// the three suppliers at the given local positions.
+func GetMax(ids []int, f, g, h PointFn) float64 {
+	var m float64
+	for _, k := range ids {
+		a, b, c := f(k), g(k), h(k)
+		if d := math.Abs(a - b); d > m {
+			m = d
+		}
+		if d := math.Abs(a - c); d > m {
+			m = d
+		}
+		if d := math.Abs(b - c); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// BetaInit computes the segment upper bound of Section 4.1.2 used while a
+// segment grows during initialization and endpoint movement. c is the grown
+// segment's original points (length l+1), inc is the new fit, ext the old
+// fit extrapolated, l the length before the growth step, and maxD the
+// running maximum from previous growth steps. It returns the bound
+// β = max(get_max([1, l, l+1]), maxD) · l and the updated running maximum.
+//
+// Local positions are 1-based in the paper; here 0-based: {0, l−1, l}.
+func BetaInit(c ts.Series, inc, ext Line, l int, maxD float64) (beta, newMaxD float64) {
+	ids := []int{0, l - 1, l}
+	if l == 1 {
+		ids = []int{0, 1}
+	}
+	m := GetMax(ids, SlicePoints(c), LinePoints(inc), LinePoints(ext))
+	if m < maxD {
+		m = maxD
+	}
+	return m * float64(l), m
+}
+
+// pairPoints evaluates the concatenation Čᵢ + Č_{i+1}: left over local
+// [0, l1), right over [l1, l1+l2) with its own local time.
+func pairPoints(left Line, l1 int, right Line) PointFn {
+	return func(t int) float64 {
+		if t < l1 {
+			return left.Eval(t)
+		}
+		return right.Eval(t - l1)
+	}
+}
+
+// BetaMerge computes the segment upper bound of Section 4.1.4 for a merge of
+// two adjacent segments: β'_{i+1} = get_max([1, l1, l1+1, L]) · (L−1)
+// evaluated over the original points c (length L = l1+l2), the merged fit,
+// and the concatenated pair of original fits.
+func BetaMerge(c ts.Series, merged Line, left Line, l1 int, right Line, l2 int) float64 {
+	L := l1 + l2
+	ids := []int{0, l1 - 1, l1, L - 1}
+	m := GetMax(ids, SlicePoints(c), LinePoints(merged), pairPoints(left, l1, right))
+	return m * float64(L-1)
+}
+
+// BetaSplit computes the two segment upper bounds of Section 4.3.1 after a
+// long segment with fit merged (length L = l1+l2, original points c) is
+// split into a left fit over l1 points and a right fit over l2 points.
+func BetaSplit(c ts.Series, merged Line, left Line, l1 int, right Line, l2 int) (betaL, betaR float64) {
+	mL := GetMax([]int{0, l1 - 1}, SlicePoints(c[:l1]), LinePoints(merged), LinePoints(left))
+	// The merged line restricted to the right part uses shifted local time.
+	mR := GetMax([]int{0, l2 - 1}, SlicePoints(c[l1:]), LinePoints(merged.Shift(l1)), LinePoints(right))
+	betaL = mL * float64(max(l1-1, 1))
+	betaR = mR * float64(max(l2-1, 1))
+	return betaL, betaR
+}
+
+// ExactMaxDeviation returns the true segment max deviation εᵢ
+// (Definition 3.4): the maximum absolute difference between the original
+// points c and the fit ln, in O(len(c)). Used for evaluation metrics and as
+// ground truth in tests; the algorithms themselves use the O(1) β bounds.
+func ExactMaxDeviation(c ts.Series, ln Line) float64 {
+	var m float64
+	for t, v := range c {
+		if d := math.Abs(v - ln.Eval(t)); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// DistS is the closed-form squared Euclidean distance between two fitted
+// lines of common length l evaluated on the integer grid (paper Eq. (12)):
+//
+//	Σ_{t=0}^{l−1} ((qa−ca)·t + (qb−cb))²
+func DistS(q, c Line, l int) float64 {
+	fl := float64(l)
+	da := q.A - c.A
+	db := q.B - c.B
+	return fl*(fl-1)*(2*fl-1)/6*da*da + fl*(fl-1)*da*db + fl*db*db
+}

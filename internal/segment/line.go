@@ -1,0 +1,183 @@
+// Package segment implements the linear-segment mathematics that the paper's
+// algorithms are built on: least-squares line fits (Eq. 1), O(1) incremental
+// fits (Eq. 2), O(1) merge of adjacent fits (Eqs. 3–4), split / inverse-merge
+// (Eqs. 5–8), endpoint-movement updates (Eqs. 9–11), the per-segment squared
+// distance Dist_S (Eq. 12), the Increment Area (Definition 4.1), the
+// Reconstruction Area (Definition 4.2) and the get_max-style segment upper
+// bounds β (Sections 4.1.2, 4.1.4, 4.3.1).
+//
+// The canonical implementations work on sufficient statistics
+// (l, Σc, Σt·c) which any fitted line determines uniquely; the paper's
+// closed-form recurrences are provided verbatim (Eq2Increment, Eq34Merge,
+// Eq9RemoveLast, Eq10Prepend, Eq11RemoveFirst) and are cross-checked against
+// the canonical forms by the package tests.
+package segment
+
+import (
+	"sapla/internal/ts"
+)
+
+// Line is a fitted line over a segment, evaluated on local time
+// t = 0, 1, ..., l−1 as A·t + B. It matches the paper's ⟨aᵢ, bᵢ⟩
+// representation coefficients.
+type Line struct {
+	A float64 // slope aᵢ
+	B float64 // y-intercept bᵢ
+}
+
+// Eval returns the line value at local time t.
+func (ln Line) Eval(t int) float64 { return ln.A*float64(t) + ln.B }
+
+// Shift returns the same geometric line re-parameterised so that local time 0
+// corresponds to the old local time dt. Used to restrict a segment's line to
+// a sub-range during Dist_PAR partitioning (Definition 5.1).
+func (ln Line) Shift(dt int) Line {
+	return Line{A: ln.A, B: ln.A*float64(dt) + ln.B}
+}
+
+// Reconstruct appends the l reconstructed points of the segment to dst and
+// returns the extended slice.
+func (ln Line) Reconstruct(dst ts.Series, l int) ts.Series {
+	for t := 0; t < l; t++ {
+		dst = append(dst, ln.Eval(t))
+	}
+	return dst
+}
+
+// Fit returns the least-squares line through l points with sufficient
+// statistics s0 = Σc_t and s1 = Σt·c_t (t local, 0-based). This is paper
+// Eq. (1) in sufficient-statistics form. For l = 1 the fit is the constant
+// through the single point.
+func Fit(l int, s0, s1 float64) Line {
+	if l <= 0 {
+		panic("segment: Fit with non-positive length")
+	}
+	if l == 1 {
+		return Line{A: 0, B: s0}
+	}
+	fl := float64(l)
+	a := (12*s1 - 6*(fl-1)*s0) / (fl * (fl*fl - 1))
+	b := s0/fl - a*(fl-1)/2
+	return Line{A: a, B: b}
+}
+
+// FitWindow returns the least-squares line over the half-open window
+// [lo, hi) of the series behind p, in O(1).
+func FitWindow(p *ts.Prefix, lo, hi int) Line {
+	l, s0, s1, _ := p.Window(lo, hi)
+	return Fit(l, s0, s1)
+}
+
+// FitSlice returns the least-squares line over the points of c, in O(len(c)).
+func FitSlice(c ts.Series) Line {
+	var s0, s1 float64
+	for t, v := range c {
+		s0 += v
+		s1 += float64(t) * v
+	}
+	return Fit(len(c), s0, s1)
+}
+
+// Stats recovers the sufficient statistics (Σc, Σt·c) of the l data points
+// that produced the least-squares fit ln. A least-squares line determines
+// them exactly: the fit equations are linear in (s0, s1).
+func (ln Line) Stats(l int) (s0, s1 float64) {
+	fl := float64(l)
+	s0 = fl*ln.B + ln.A*fl*(fl-1)/2
+	if l == 1 {
+		return s0, 0
+	}
+	// Invert a = (12·s1 − 6(l−1)·s0) / (l(l²−1)).
+	s1 = (ln.A*fl*(fl*fl-1) + 6*(fl-1)*s0) / 12
+	return s0, s1
+}
+
+// SSE returns the residual sum of squares of the fit ln against l points
+// with sufficient statistics (s0, s1, s2 = Σc²), in O(1).
+func SSE(ln Line, l int, s0, s1, s2 float64) float64 {
+	fl := float64(l)
+	sumT := fl * (fl - 1) / 2
+	sumT2 := fl * (fl - 1) * (2*fl - 1) / 6
+	r := s2 - 2*ln.A*s1 - 2*ln.B*s0 + ln.A*ln.A*sumT2 + 2*ln.A*ln.B*sumT + ln.B*ln.B*fl
+	if r < 0 {
+		r = 0 // numerical noise
+	}
+	return r
+}
+
+// Append returns the least-squares fit after appending one point c to a
+// segment of length l fitted by ln (paper Eq. (2), O(1)).
+func Append(ln Line, l int, c float64) Line {
+	s0, s1 := ln.Stats(l)
+	return Fit(l+1, s0+c, s1+float64(l)*c)
+}
+
+// RemoveLast returns the least-squares fit after removing the last point
+// cLast from a segment of length l fitted by ln (paper Eq. (9), O(1)).
+func RemoveLast(ln Line, l int, cLast float64) Line {
+	if l < 2 {
+		panic("segment: RemoveLast on segment of length < 2")
+	}
+	s0, s1 := ln.Stats(l)
+	return Fit(l-1, s0-cLast, s1-float64(l-1)*cLast)
+}
+
+// Prepend returns the least-squares fit after prepending one point cFirst to
+// a segment of length l fitted by ln (paper Eq. (10), O(1)). Local time
+// shifts so the new point is at t = 0.
+func Prepend(ln Line, l int, cFirst float64) Line {
+	s0, s1 := ln.Stats(l)
+	// Old points move from local t to t+1: s1' = s1 + s0; new point adds 0·c.
+	return Fit(l+1, s0+cFirst, s1+s0)
+}
+
+// RemoveFirst returns the least-squares fit after removing the first point
+// cFirst from a segment of length l fitted by ln (paper Eq. (11), O(1)).
+// Local time shifts so the old t = 1 becomes t = 0.
+func RemoveFirst(ln Line, l int, cFirst float64) Line {
+	if l < 2 {
+		panic("segment: RemoveFirst on segment of length < 2")
+	}
+	s0, s1 := ln.Stats(l)
+	s0 -= cFirst
+	// Remaining points move from local t to t−1: s1' = (s1 − 0·cFirst) − s0'.
+	return Fit(l-1, s0, s1-s0)
+}
+
+// Merge returns the least-squares fit over the union of two adjacent
+// segments from their individual fits (paper Eqs. (3)–(4), O(1)).
+// left covers local times [0, l1), right covers [l1, l1+l2).
+func Merge(left Line, l1 int, right Line, l2 int) Line {
+	s0l, s1l := left.Stats(l1)
+	s0r, s1r := right.Stats(l2)
+	return Fit(l1+l2, s0l+s0r, s1l+s1r+float64(l1)*s0r)
+}
+
+// SplitLeft recovers the left sub-segment's least-squares fit from the fit of
+// the merged segment and the right sub-segment's fit (paper Eqs. (5)–(6),
+// O(1)). merged covers L points, right covers the last l2 of them.
+func SplitLeft(merged Line, L int, right Line, l2 int) Line {
+	l1 := L - l2
+	if l1 < 1 {
+		panic("segment: SplitLeft with empty left side")
+	}
+	s0m, s1m := merged.Stats(L)
+	s0r, s1r := right.Stats(l2)
+	return Fit(l1, s0m-s0r, s1m-(s1r+float64(l1)*s0r))
+}
+
+// SplitRight recovers the right sub-segment's least-squares fit from the fit
+// of the merged segment and the left sub-segment's fit (paper Eqs. (7)–(8),
+// O(1)). merged covers L points, left covers the first l1 of them. The
+// returned line uses local time starting at the right sub-segment's start.
+func SplitRight(merged Line, L int, left Line, l1 int) Line {
+	l2 := L - l1
+	if l2 < 1 {
+		panic("segment: SplitRight with empty right side")
+	}
+	s0m, s1m := merged.Stats(L)
+	s0l, s1l := left.Stats(l1)
+	s0r := s0m - s0l
+	s1r := s1m - s1l - float64(l1)*s0r
+	return Fit(l2, s0r, s1r)
+}

@@ -1,0 +1,244 @@
+package subseq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sapla/internal/core"
+	"sapla/internal/reduce"
+	"sapla/internal/ts"
+)
+
+// makeLong builds a noisy random walk with a distinctive pattern planted at
+// the given offsets.
+func makeLong(seed int64, n int, pattern ts.Series, offsets ...int) ts.Series {
+	rng := rand.New(rand.NewSource(seed))
+	long := make(ts.Series, n)
+	var v float64
+	for i := range long {
+		v += rng.NormFloat64() * 0.5
+		long[i] = v
+	}
+	for _, off := range offsets {
+		for j, p := range pattern {
+			long[off+j] = p + rng.NormFloat64()*0.01
+		}
+	}
+	return long
+}
+
+func sinePattern(w int) ts.Series {
+	p := make(ts.Series, w)
+	for i := range p {
+		p[i] = 10 * math.Sin(4*math.Pi*float64(i)/float64(w))
+	}
+	return p
+}
+
+func TestMatchFindsPlantedPattern(t *testing.T) {
+	const n, w = 2000, 64
+	pattern := sinePattern(w)
+	long := makeLong(1, n, pattern, 500)
+	ix, err := New(long, w, 12, core.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Windows() != n-w+1 {
+		t.Fatalf("windows = %d", ix.Windows())
+	}
+	ms, stats, err := ix.Match(pattern, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].Offset != 500 {
+		t.Fatalf("match = %+v, want offset 500", ms)
+	}
+	if stats.Measured == 0 || stats.Measured > ix.Windows() {
+		t.Fatalf("measured = %d", stats.Measured)
+	}
+}
+
+func TestTopKSuppressesTrivialMatches(t *testing.T) {
+	const n, w = 3000, 64
+	pattern := sinePattern(w)
+	long := makeLong(2, n, pattern, 400, 1500, 2500)
+	ix, err := New(long, w, 12, core.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, _, err := ix.TopK(pattern, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("got %d matches", len(ms))
+	}
+	found := map[int]bool{}
+	for _, m := range ms {
+		// Each match must be near one planted offset, and no two matches
+		// may overlap.
+		near := -1
+		for _, off := range []int{400, 1500, 2500} {
+			if abs(m.Offset-off) < w {
+				near = off
+			}
+		}
+		if near < 0 {
+			t.Fatalf("match at %d is not near any planted offset", m.Offset)
+		}
+		if found[near] {
+			t.Fatalf("two matches for planted offset %d", near)
+		}
+		found[near] = true
+	}
+	for i := range ms {
+		for j := i + 1; j < len(ms); j++ {
+			if abs(ms[i].Offset-ms[j].Offset) < w {
+				t.Fatal("overlapping matches survived suppression")
+			}
+		}
+	}
+}
+
+func TestRangeMatchFindsAllOccurrences(t *testing.T) {
+	// Range exactness requires a guaranteed-lower-bound filter (see the
+	// RangeMatch doc); PAA provides one.
+	const n, w = 2000, 64
+	pattern := sinePattern(w)
+	long := makeLong(3, n, pattern, 300, 900)
+	ix, err := New(long, w, 12, reduce.NewPAA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, _, err := ix.RangeMatch(pattern, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit300, hit900 := false, false
+	for _, m := range ms {
+		if m.Offset == 300 {
+			hit300 = true
+		}
+		if m.Offset == 900 {
+			hit900 = true
+		}
+		if m.Dist > 1.0 {
+			t.Fatalf("match outside radius: %+v", m)
+		}
+	}
+	if !hit300 || !hit900 {
+		t.Fatalf("occurrences missed: 300=%v 900=%v (matches %v)", hit300, hit900, ms)
+	}
+}
+
+func TestStrideMisses(t *testing.T) {
+	const n, w = 1000, 64
+	pattern := sinePattern(w)
+	long := makeLong(4, n, pattern, 501) // offset NOT divisible by the stride
+	ix, err := New(long, w, 12, core.New(), WithStride(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Windows() >= n-w+1 {
+		t.Fatal("stride did not reduce window count")
+	}
+	ms, _, err := ix.Match(pattern, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The best indexed window is an overlapping neighbour within stride.
+	if abs(ms[0].Offset-501) >= 4 {
+		t.Fatalf("nearest window at %d, want within 4 of 501", ms[0].Offset)
+	}
+}
+
+func TestRTreeBackend(t *testing.T) {
+	const n, w = 1200, 64
+	pattern := sinePattern(w)
+	long := makeLong(5, n, pattern, 700)
+	ix, err := New(long, w, 8, reduce.NewPAA(), WithRTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, _, err := ix.Match(pattern, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms[0].Offset != 700 {
+		t.Fatalf("match at %d, want 700", ms[0].Offset)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	long := makeLong(6, 300, nil)
+	if _, err := New(long, 1, 12, core.New()); err == nil {
+		t.Fatal("w=1 accepted")
+	}
+	if _, err := New(long, 400, 12, core.New()); err == nil {
+		t.Fatal("w>n accepted")
+	}
+	if _, err := New(ts.Series{}, 10, 12, core.New()); err == nil {
+		t.Fatal("empty sequence accepted")
+	}
+	ix, err := New(long, 64, 12, core.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix.Match(make(ts.Series, 32), 1); err != ErrQueryLength {
+		t.Fatalf("wrong-length query: %v", err)
+	}
+	if _, _, err := ix.TopK(make(ts.Series, 32), 1); err != ErrQueryLength {
+		t.Fatalf("wrong-length TopK query: %v", err)
+	}
+	if _, _, err := ix.RangeMatch(make(ts.Series, 32), 1); err != ErrQueryLength {
+		t.Fatalf("wrong-length range query: %v", err)
+	}
+}
+
+func TestMatchIsExactAgainstBruteForce(t *testing.T) {
+	const n, w = 1500, 48
+	long := makeLong(7, n, nil)
+	query := sinePattern(w)
+	ix, err := New(long, w, 8, reduce.NewPAA()) // guaranteed LB filter
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, _, err := ix.Match(query, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force best window.
+	best, bestD := -1, math.Inf(1)
+	for off := 0; off+w <= n; off++ {
+		d := math.Sqrt(ts.EuclideanSq(long[off:off+w], query))
+		if d < bestD {
+			best, bestD = off, d
+		}
+	}
+	if ms[0].Offset != best || math.Abs(ms[0].Dist-bestD) > 1e-9 {
+		t.Fatalf("index best (%d,%v) != brute force (%d,%v)", ms[0].Offset, ms[0].Dist, best, bestD)
+	}
+}
+
+func TestZNormalizedMatching(t *testing.T) {
+	// The planted pattern is scaled and shifted; z-normalised matching still
+	// finds it, plain matching prefers an amplitude-matched window.
+	const n, w = 1500, 64
+	pattern := sinePattern(w)
+	long := makeLong(8, n, nil)
+	for j, p := range pattern {
+		long[800+j] = 0.3*p + 50 // heavy rescale + offset
+	}
+	zix, err := New(long, w, 12, core.New(), WithZNormalize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, _, err := zix.Match(pattern, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abs(ms[0].Offset-800) > 2 {
+		t.Fatalf("z-normalised match at %d, want ≈800", ms[0].Offset)
+	}
+}

@@ -1,0 +1,71 @@
+package tsio
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sapla/internal/index"
+	"sapla/internal/repr"
+	"sapla/internal/ts"
+)
+
+// entryLine is the JSON-lines form of one indexed series: the raw values
+// plus the representation envelope, so an index can be rebuilt without
+// re-running the reducer.
+type entryLine struct {
+	ID  int             `json:"id"`
+	Raw []float64       `json:"raw"`
+	Rep json.RawMessage `json:"rep"`
+}
+
+// WriteEntries persists a collection of index entries as JSON lines.
+func WriteEntries(w io.Writer, entries []*index.Entry) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range entries {
+		var repBuf []byte
+		if e.Rep != nil {
+			var sb bytes.Buffer
+			if err := EncodeRepresentation(&sb, e.Rep); err != nil {
+				return fmt.Errorf("tsio: entry %d: %w", e.ID, err)
+			}
+			repBuf = sb.Bytes()
+		}
+		line := entryLine{ID: e.ID, Raw: e.Raw, Rep: repBuf}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEntries loads entries written by WriteEntries. Each entry's
+// representation is validated by the envelope decoder.
+func ReadEntries(r io.Reader) ([]*index.Entry, error) {
+	dec := json.NewDecoder(r)
+	var out []*index.Entry
+	for {
+		var line entryLine
+		if err := dec.Decode(&line); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		var rep repr.Representation
+		if len(line.Rep) > 0 {
+			var err error
+			rep, err = DecodeRepresentation(bytes.NewReader(line.Rep))
+			if err != nil {
+				return nil, fmt.Errorf("tsio: entry %d: %w", line.ID, err)
+			}
+		}
+		out = append(out, index.NewEntry(line.ID, ts.Series(line.Raw), rep))
+	}
+	if len(out) == 0 {
+		return nil, ErrEmptyInput
+	}
+	return out, nil
+}

@@ -1,0 +1,31 @@
+package ucr
+
+import "testing"
+
+func BenchmarkGenerateDataset(b *testing.B) {
+	d, err := ByName("EOGHorizontalSignal")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{Length: 1024, Count: 100, Queries: 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Generate(cfg)
+	}
+}
+
+func BenchmarkGenerateFamilies(b *testing.B) {
+	names := []string{"CBF", "ECG200", "TwoPatterns", "Lightning2", "ItalyPowerDemand"}
+	cfg := Config{Length: 512, Count: 10, Queries: 0}
+	for _, name := range names {
+		d, err := ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d.Generate(cfg)
+			}
+		})
+	}
+}

@@ -1,0 +1,260 @@
+package ucr
+
+import (
+	"math"
+	"math/rand"
+
+	"sapla/internal/ts"
+)
+
+// generate dispatches to the family's generator. Each generator shapes a
+// class-dependent prototype and adds per-series jitter so that nearest
+// neighbours in Euclidean space tend to share a class (giving k-NN
+// experiments real structure).
+func generate(f Family, rng *rand.Rand, n, class, classes int) ts.Series {
+	switch f {
+	case RandomWalk:
+		return genRandomWalk(rng, n, class)
+	case CBF:
+		return genCBF(rng, n, class)
+	case ECGLike:
+		return genECG(rng, n, class)
+	case EOGLike:
+		return genEOG(rng, n, class)
+	case Chirp:
+		return genChirp(rng, n, class)
+	case Square:
+		return genSquare(rng, n, class)
+	case TrendSeason:
+		return genTrendSeason(rng, n, class)
+	case Spiky:
+		return genSpiky(rng, n, class)
+	case AR1:
+		return genAR1(rng, n, class)
+	case Harmonic:
+		return genHarmonic(rng, n, class, classes)
+	case StepLevel:
+		return genStepLevel(rng, n, class)
+	default:
+		return genMixture(rng, n, class)
+	}
+}
+
+// genRandomWalk: drifting random walk; the class sets the drift.
+func genRandomWalk(rng *rand.Rand, n, class int) ts.Series {
+	drift := (float64(class) - 1.5) * 0.02
+	s := make(ts.Series, n)
+	var v float64
+	for i := range s {
+		v += drift + rng.NormFloat64()*0.5
+		s[i] = v
+	}
+	return s
+}
+
+// genCBF: the classic cylinder–bell–funnel shapes (class mod 3 selects the
+// shape), the canonical synthetic classification benchmark.
+func genCBF(rng *rand.Rand, n, class int) ts.Series {
+	a := n/8 + rng.Intn(n/8)
+	b := a + n/3 + rng.Intn(n/4)
+	if b >= n {
+		b = n - 1
+	}
+	amp := 4 + rng.NormFloat64()
+	s := make(ts.Series, n)
+	for i := range s {
+		var shape float64
+		if i >= a && i <= b {
+			frac := float64(i-a) / float64(b-a+1)
+			switch class % 3 {
+			case 0: // cylinder
+				shape = 1
+			case 1: // bell: ramp up
+				shape = frac
+			default: // funnel: ramp down
+				shape = 1 - frac
+			}
+		}
+		s[i] = amp*shape + rng.NormFloat64()*0.3
+	}
+	return s
+}
+
+// genECG: periodic sharp QRS-like bumps; the class sets rate and amplitude.
+func genECG(rng *rand.Rand, n, class int) ts.Series {
+	period := float64(n) / (6 + 2*float64(class) + rng.Float64()*2)
+	width := period / 18
+	amp := 5 + float64(class)
+	s := make(ts.Series, n)
+	phase := rng.Float64() * period
+	for i := range s {
+		t := math.Mod(float64(i)+phase, period)
+		// R peak, preceding Q dip, following S dip, and a soft T wave.
+		s[i] = amp*bump(t, period*0.3, width) -
+			0.3*amp*bump(t, period*0.3-2.2*width, width) -
+			0.25*amp*bump(t, period*0.3+2.2*width, width) +
+			0.35*amp*bump(t, period*0.62, width*4) +
+			rng.NormFloat64()*0.15
+	}
+	return s
+}
+
+func bump(t, center, width float64) float64 {
+	d := (t - center) / width
+	return math.Exp(-d * d / 2)
+}
+
+// genEOG: slow oscillation with saccade-like level jumps — the "regularly
+// changed" regime the paper singles out as hard for adaptive segmentation.
+func genEOG(rng *rand.Rand, n, class int) ts.Series {
+	f1 := (2 + float64(class)) / float64(n)
+	f2 := (5 + 2*float64(class)) / float64(n)
+	s := make(ts.Series, n)
+	level := 0.0
+	nextJump := rng.Intn(n / 6)
+	for i := range s {
+		if i == nextJump {
+			level += rng.NormFloat64() * 2
+			nextJump += n/10 + rng.Intn(n/6)
+		}
+		x := float64(i)
+		s[i] = 3*math.Sin(2*math.Pi*f1*x+rng.Float64()*0.01) +
+			1.5*math.Sin(2*math.Pi*f2*x) + level + rng.NormFloat64()*0.2
+	}
+	return s
+}
+
+// genChirp: a sinusoid whose frequency sweeps upward; the class sets the
+// sweep rate.
+func genChirp(rng *rand.Rand, n, class int) ts.Series {
+	k := (4 + 2*float64(class) + rng.Float64()) / float64(n) / float64(n)
+	f0 := 1.5 / float64(n)
+	s := make(ts.Series, n)
+	for i := range s {
+		x := float64(i)
+		s[i] = math.Sin(2*math.Pi*(f0*x+k*x*x/2)) + rng.NormFloat64()*0.1
+	}
+	return s
+}
+
+// genSquare: a square wave; the class sets period and duty cycle.
+func genSquare(rng *rand.Rand, n, class int) ts.Series {
+	period := float64(n) / (4 + float64(class))
+	duty := 0.3 + 0.1*float64(class%4)
+	phase := rng.Float64() * period
+	s := make(ts.Series, n)
+	for i := range s {
+		t := math.Mod(float64(i)+phase, period) / period
+		v := -1.0
+		if t < duty {
+			v = 1
+		}
+		s[i] = v*3 + rng.NormFloat64()*0.2
+	}
+	return s
+}
+
+// genTrendSeason: linear trend plus a daily-style seasonal component.
+func genTrendSeason(rng *rand.Rand, n, class int) ts.Series {
+	slope := (float64(class) - 2) * 3 / float64(n)
+	freq := (6 + float64(class)) / float64(n)
+	s := make(ts.Series, n)
+	for i := range s {
+		x := float64(i)
+		s[i] = slope*x + 2*math.Sin(2*math.Pi*freq*x) +
+			0.5*math.Sin(2*math.Pi*3*freq*x+1) + rng.NormFloat64()*0.3
+	}
+	return s
+}
+
+// genSpiky: rare high-amplitude spikes over noise (lightning/seismic-like);
+// the class sets spike density.
+func genSpiky(rng *rand.Rand, n, class int) ts.Series {
+	s := make(ts.Series, n)
+	for i := range s {
+		s[i] = rng.NormFloat64() * 0.3
+	}
+	spikes := 3 + 2*class
+	for k := 0; k < spikes; k++ {
+		at := rng.Intn(n)
+		amp := (4 + rng.Float64()*4) * sign(rng)
+		width := 1 + rng.Intn(4)
+		for j := -3 * width; j <= 3*width; j++ {
+			if at+j >= 0 && at+j < n {
+				s[at+j] += amp * bump(float64(j), 0, float64(width))
+			}
+		}
+	}
+	return s
+}
+
+func sign(rng *rand.Rand) float64 {
+	if rng.Intn(2) == 0 {
+		return -1
+	}
+	return 1
+}
+
+// genAR1: a first-order autoregressive process; the class sets persistence.
+func genAR1(rng *rand.Rand, n, class int) ts.Series {
+	phi := 0.5 + 0.08*float64(class%6)
+	s := make(ts.Series, n)
+	var v float64
+	for i := range s {
+		v = phi*v + rng.NormFloat64()
+		s[i] = v
+	}
+	return s
+}
+
+// genHarmonic: a fundamental with class-weighted harmonics (audio-like).
+func genHarmonic(rng *rand.Rand, n, class, classes int) ts.Series {
+	f := (8 + float64(class)) / float64(n)
+	w2 := float64(class%3) * 0.5
+	w3 := float64(class%2) * 0.7
+	_ = classes
+	phase := rng.Float64() * 2 * math.Pi
+	s := make(ts.Series, n)
+	for i := range s {
+		x := 2 * math.Pi * f * float64(i)
+		s[i] = math.Sin(x+phase) + w2*math.Sin(2*x) + w3*math.Sin(3*x) +
+			rng.NormFloat64()*0.15
+	}
+	return s
+}
+
+// genStepLevel: piecewise-constant appliance-style load levels.
+func genStepLevel(rng *rand.Rand, n, class int) ts.Series {
+	s := make(ts.Series, n)
+	level := 0.0
+	segLen := n/(4+class%5) + 1
+	for i := range s {
+		if i%segLen == 0 {
+			level = float64(rng.Intn(4+class)) * 2
+		}
+		s[i] = level + rng.NormFloat64()*0.2
+	}
+	return s
+}
+
+// genMixture: a sum of two or three random sinusoids.
+func genMixture(rng *rand.Rand, n, class int) ts.Series {
+	k := 2 + class%2
+	freqs := make([]float64, k)
+	phases := make([]float64, k)
+	amps := make([]float64, k)
+	for j := range freqs {
+		freqs[j] = (2 + float64(class) + 4*rng.Float64()) / float64(n)
+		phases[j] = rng.Float64() * 2 * math.Pi
+		amps[j] = 0.5 + rng.Float64()
+	}
+	s := make(ts.Series, n)
+	for i := range s {
+		x := float64(i)
+		for j := range freqs {
+			s[i] += amps[j] * math.Sin(2*math.Pi*freqs[j]*x+phases[j])
+		}
+		s[i] += rng.NormFloat64() * 0.1
+	}
+	return s
+}

@@ -1,0 +1,94 @@
+package ucr
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sapla/internal/ts"
+	"sapla/internal/tsio"
+)
+
+// Source supplies one dataset to the experiment harness. The synthetic
+// Dataset implements it; FileSource adapts real UCR text files so the
+// harness runs unchanged on the genuine archive when it is available.
+type Source interface {
+	// DatasetName identifies the dataset in reports.
+	DatasetName() string
+	// Generate returns the stored series and held-out queries at the given
+	// scale.
+	Generate(cfg Config) (data, queries []Instance)
+}
+
+// DatasetName implements Source.
+func (d Dataset) DatasetName() string { return d.Name }
+
+// FileSource reads a dataset from a UCR-convention text file (class label
+// first, comma/whitespace-separated values, one series per line — the
+// format tsio.ReadDataset parses and the real archive ships).
+type FileSource struct {
+	Name string
+	Path string
+	// ZNormalize re-normalises each series (the UCR archive is largely
+	// pre-normalised; enable for raw sources).
+	ZNormalize bool
+}
+
+// NewFileSource builds a FileSource named after the file's base name.
+func NewFileSource(path string) FileSource {
+	base := filepath.Base(path)
+	if i := strings.IndexByte(base, '.'); i > 0 {
+		base = base[:i]
+	}
+	return FileSource{Name: base, Path: path}
+}
+
+// DatasetName implements Source.
+func (f FileSource) DatasetName() string { return f.Name }
+
+// Generate implements Source: the first cfg.Count usable rows become the
+// stored series and the following cfg.Queries rows the queries. Rows are
+// truncated to cfg.Length; shorter rows are skipped. Read errors surface as
+// an empty dataset (the harness treats datasets independently), with the
+// detail available through Load.
+func (f FileSource) Generate(cfg Config) (data, queries []Instance) {
+	data, queries, _ = f.Load(cfg)
+	return data, queries
+}
+
+// Load is Generate with the error.
+func (f FileSource) Load(cfg Config) (data, queries []Instance, err error) {
+	cfg = cfg.withDefaults()
+	file, err := os.Open(f.Path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer file.Close()
+	rows, err := tsio.ReadDataset(file)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ucr: %s: %w", f.Path, err)
+	}
+	for _, row := range rows {
+		if len(row.Values) < cfg.Length {
+			continue
+		}
+		v := ts.Series(row.Values[:cfg.Length]).Clone()
+		if f.ZNormalize {
+			v = v.ZNormalize()
+		}
+		inst := Instance{Values: v, Class: row.Class}
+		switch {
+		case len(data) < cfg.Count:
+			data = append(data, inst)
+		case len(queries) < cfg.Queries:
+			queries = append(queries, inst)
+		default:
+			return data, queries, nil
+		}
+	}
+	if len(data) == 0 {
+		return nil, nil, fmt.Errorf("ucr: %s: no rows of length ≥ %d", f.Path, cfg.Length)
+	}
+	return data, queries, nil
+}

@@ -1,0 +1,176 @@
+// Package ucr is the data substrate standing in for the UCR2018 Time Series
+// Classification Archive the paper evaluates on. The real archive is not
+// redistributable here, so this package generates a deterministic synthetic
+// archive with the same shape: the 117 equal-length dataset names of
+// UCR2018, 100 series of length 1024 per dataset (both configurable), and a
+// handful of held-out query series per dataset. Each dataset name maps to
+// one of twelve signal families chosen to span the regimes of the real
+// archive (smooth, oscillatory EOG-like, spiky ECG-like, stepped device
+// loads, noisy sensor traces, ...), with per-class prototypes so
+// classification-style experiments have ground truth. Everything is seeded
+// from the dataset name: the archive is fully reproducible.
+package ucr
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"sapla/internal/ts"
+)
+
+// Config controls the archive's scale. Zero Length/Count fall back to the
+// paper's defaults; Queries is taken literally (0 queries is meaningful).
+type Config struct {
+	Length  int // points per series (paper: 1024)
+	Count   int // series per dataset (paper: 100)
+	Queries int // held-out query series per dataset (paper: 5)
+}
+
+// Default returns the paper's experimental scale.
+func Default() Config { return Config{Length: 1024, Count: 100, Queries: 5} }
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	d := Default()
+	if c.Length <= 0 {
+		c.Length = d.Length
+	}
+	if c.Count <= 0 {
+		c.Count = d.Count
+	}
+	if c.Queries < 0 {
+		c.Queries = d.Queries
+	}
+	return c
+}
+
+// Family identifies a signal generator.
+type Family int
+
+// The twelve signal families.
+const (
+	RandomWalk Family = iota
+	CBF
+	ECGLike
+	EOGLike
+	Chirp
+	Square
+	TrendSeason
+	Spiky
+	AR1
+	Harmonic
+	StepLevel
+	Mixture
+	numFamilies
+)
+
+// String names the family.
+func (f Family) String() string {
+	names := [...]string{"RandomWalk", "CBF", "ECGLike", "EOGLike", "Chirp",
+		"Square", "TrendSeason", "Spiky", "AR1", "Harmonic", "StepLevel", "Mixture"}
+	if int(f) < len(names) {
+		return names[f]
+	}
+	return fmt.Sprintf("Family(%d)", int(f))
+}
+
+// Instance is one generated series with its class label.
+type Instance struct {
+	Values ts.Series
+	Class  int
+}
+
+// Dataset is one named synthetic dataset.
+type Dataset struct {
+	Name    string
+	Family  Family
+	Classes int
+	seed    int64
+}
+
+// ByName returns the dataset descriptor with the given UCR2018 name.
+func ByName(name string) (Dataset, error) {
+	for _, d := range Datasets() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("ucr: unknown dataset %q", name)
+}
+
+// Datasets returns the full 117-dataset archive in alphabetical order.
+func Datasets() []Dataset {
+	out := make([]Dataset, len(datasetNames))
+	for i, name := range datasetNames {
+		out[i] = describe(name)
+	}
+	return out
+}
+
+// describe derives a dataset's family, class count and seed from its name.
+func describe(name string) Dataset {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	seed := int64(h.Sum64() & math.MaxInt64)
+	return Dataset{
+		Name:    name,
+		Family:  familyFor(name, seed),
+		Classes: 2 + int(seed>>7%7), // 2..8 classes
+		seed:    seed,
+	}
+}
+
+// familyFor picks a generator family: domain-suggestive names map to their
+// natural regime, the rest are spread by hash.
+func familyFor(name string, seed int64) Family {
+	prefixes := []struct {
+		prefix string
+		fam    Family
+	}{
+		{"ECG", ECGLike}, {"TwoLeadECG", ECGLike}, {"CinCECG", ECGLike},
+		{"NonInvasiveFetalECG", ECGLike}, {"EOG", EOGLike}, {"CBF", CBF},
+		{"Lightning", Spiky}, {"Earthquakes", Spiky}, {"Freezer", StepLevel},
+		{"Refrigeration", StepLevel}, {"Computers", StepLevel},
+		{"ElectricDevices", StepLevel}, {"LargeKitchen", StepLevel},
+		{"SmallKitchen", StepLevel}, {"ScreenType", StepLevel},
+		{"PowerCons", TrendSeason}, {"ItalyPowerDemand", TrendSeason},
+		{"MelbournePedestrian", TrendSeason}, {"Chinatown", TrendSeason},
+		{"Crop", TrendSeason}, {"InsectWingbeat", Harmonic},
+		{"Phoneme", Harmonic}, {"StarLightCurves", Harmonic},
+		{"Mallat", Mixture}, {"Symbols", Mixture}, {"SyntheticControl", AR1},
+		{"Fungi", Chirp}, {"SemgHand", EOGLike}, {"Pig", ECGLike},
+		{"SonyAIBO", Square}, {"Plane", CBF}, {"Trace", Square},
+		{"TwoPatterns", Square}, {"UWave", EOGLike}, {"Wafer", StepLevel},
+	}
+	for _, p := range prefixes {
+		if len(name) >= len(p.prefix) && name[:len(p.prefix)] == p.prefix {
+			return p.fam
+		}
+	}
+	return Family(seed % int64(numFamilies))
+}
+
+// Generate produces the dataset's stored series and held-out queries.
+// All series are z-normalised, as is conventional for the UCR archive.
+func (d Dataset) Generate(cfg Config) (data, queries []Instance) {
+	cfg = cfg.withDefaults()
+	data = make([]Instance, cfg.Count)
+	for i := range data {
+		data[i] = d.instance(cfg.Length, i)
+	}
+	queries = make([]Instance, cfg.Queries)
+	for i := range queries {
+		queries[i] = d.instance(cfg.Length, cfg.Count+i)
+	}
+	return data, queries
+}
+
+// instance generates the i-th series of the dataset.
+func (d Dataset) instance(length, i int) Instance {
+	class := i % d.Classes
+	rng := rand.New(rand.NewSource(d.seed + int64(i)*1000003))
+	s := generate(d.Family, rng, length, class, d.Classes)
+	return Instance{Values: s.ZNormalize(), Class: class}
+}

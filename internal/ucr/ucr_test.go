@@ -1,0 +1,266 @@
+package ucr
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"sapla/internal/ts"
+	"sapla/internal/tsio"
+)
+
+func TestArchiveHas117Datasets(t *testing.T) {
+	ds := Datasets()
+	if len(ds) != 117 {
+		t.Fatalf("archive has %d datasets, want 117", len(ds))
+	}
+	seen := map[string]bool{}
+	for _, d := range ds {
+		if seen[d.Name] {
+			t.Fatalf("duplicate dataset %q", d.Name)
+		}
+		seen[d.Name] = true
+		if d.Classes < 2 || d.Classes > 8 {
+			t.Fatalf("%s: classes = %d", d.Name, d.Classes)
+		}
+		if d.Family < 0 || d.Family >= numFamilies {
+			t.Fatalf("%s: bad family %v", d.Name, d.Family)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	d, err := ByName("EOGHorizontalSignal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Family != EOGLike {
+		t.Fatalf("EOGHorizontalSignal family = %v, want EOGLike", d.Family)
+	}
+	if _, err := ByName("NotADataset"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestDomainFamilies(t *testing.T) {
+	cases := map[string]Family{
+		"ECG200":              ECGLike,
+		"ECG5000":             ECGLike,
+		"EOGVerticalSignal":   EOGLike,
+		"CBF":                 CBF,
+		"Lightning2":          Spiky,
+		"FreezerRegularTrain": StepLevel,
+		"ItalyPowerDemand":    TrendSeason,
+		"InsectWingbeatSound": Harmonic,
+		"SyntheticControl":    AR1,
+		"TwoPatterns":         Square,
+	}
+	for name, want := range cases {
+		d, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Family != want {
+			t.Errorf("%s family = %v, want %v", name, d.Family, want)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := Config{Length: 256, Count: 20, Queries: 3}
+	for _, d := range Datasets()[:20] {
+		data, queries := d.Generate(cfg)
+		if len(data) != 20 || len(queries) != 3 {
+			t.Fatalf("%s: got %d/%d instances", d.Name, len(data), len(queries))
+		}
+		for _, inst := range append(data, queries...) {
+			if len(inst.Values) != 256 {
+				t.Fatalf("%s: length %d", d.Name, len(inst.Values))
+			}
+			if err := inst.Values.Validate(); err != nil {
+				t.Fatalf("%s: %v", d.Name, err)
+			}
+			if inst.Class < 0 || inst.Class >= d.Classes {
+				t.Fatalf("%s: class %d of %d", d.Name, inst.Class, d.Classes)
+			}
+			// z-normalised.
+			if m := inst.Values.Mean(); math.Abs(m) > 1e-6 {
+				t.Fatalf("%s: mean %v", d.Name, m)
+			}
+			if sd := inst.Values.Std(); math.Abs(sd-1) > 1e-6 {
+				t.Fatalf("%s: std %v", d.Name, sd)
+			}
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	d, _ := ByName("GunPoint")
+	cfg := Config{Length: 128, Count: 5, Queries: 2}
+	a, aq := d.Generate(cfg)
+	b, bq := d.Generate(cfg)
+	for i := range a {
+		for j := range a[i].Values {
+			if a[i].Values[j] != b[i].Values[j] {
+				t.Fatal("data generation not deterministic")
+			}
+		}
+	}
+	for i := range aq {
+		for j := range aq[i].Values {
+			if aq[i].Values[j] != bq[i].Values[j] {
+				t.Fatal("query generation not deterministic")
+			}
+		}
+	}
+}
+
+func TestQueriesDifferFromData(t *testing.T) {
+	d, _ := ByName("Coffee")
+	data, queries := d.Generate(Config{Length: 64, Count: 5, Queries: 2})
+	for _, q := range queries {
+		for _, inst := range data {
+			if ts.EuclideanSq(q.Values, inst.Values) == 0 {
+				t.Fatal("query identical to stored series")
+			}
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	d, _ := ByName("Wine")
+	data, queries := d.Generate(Config{Queries: 5})
+	if len(data) != 100 || len(queries) != 5 || len(data[0].Values) != 1024 {
+		t.Fatalf("defaults not applied: %d/%d/%d", len(data), len(queries), len(data[0].Values))
+	}
+}
+
+// Class structure: series of the same class should usually be closer than
+// series of different classes (the premise of the k-NN evaluation).
+func TestClassStructure(t *testing.T) {
+	checked := 0
+	for _, name := range []string{"CBF", "ECG200", "TwoPatterns", "InsectWingbeatSound"} {
+		d, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := d.Generate(Config{Length: 256, Count: 40, Queries: 0})
+		var intra, inter float64
+		var nIntra, nInter int
+		for i := 0; i < len(data); i++ {
+			for j := i + 1; j < len(data); j++ {
+				dd := math.Sqrt(ts.EuclideanSq(data[i].Values, data[j].Values))
+				if data[i].Class == data[j].Class {
+					intra += dd
+					nIntra++
+				} else {
+					inter += dd
+					nInter++
+				}
+			}
+		}
+		if nIntra == 0 || nInter == 0 {
+			continue
+		}
+		if intra/float64(nIntra) >= inter/float64(nInter) {
+			t.Errorf("%s: intra-class mean distance %.3f ≥ inter-class %.3f",
+				name, intra/float64(nIntra), inter/float64(nInter))
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no dataset checked")
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	if EOGLike.String() != "EOGLike" || Family(99).String() == "" {
+		t.Fatal("Family.String broken")
+	}
+}
+
+func TestAllFamiliesGenerate(t *testing.T) {
+	// Exercise every generator directly through datasets covering them.
+	fams := map[Family]bool{}
+	for _, d := range Datasets() {
+		fams[d.Family] = true
+	}
+	for f := Family(0); f < numFamilies; f++ {
+		if !fams[f] {
+			t.Errorf("family %v not covered by any dataset", f)
+		}
+	}
+}
+
+func TestFileSourceRoundTrip(t *testing.T) {
+	// Export a synthetic dataset to the UCR file format and read it back
+	// through FileSource — the harness path for the real archive.
+	d, _ := ByName("GunPoint")
+	data, queries := d.Generate(Config{Length: 64, Count: 8, Queries: 2})
+	path := t.TempDir() + "/GunPoint.txt"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []tsio.LabeledSeries
+	for _, inst := range append(data, queries...) {
+		rows = append(rows, tsio.LabeledSeries{Class: inst.Class, Values: inst.Values})
+	}
+	if err := tsio.WriteDataset(f, rows); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	src := NewFileSource(path)
+	if src.DatasetName() != "GunPoint" {
+		t.Fatalf("name = %s", src.DatasetName())
+	}
+	got, gotQ, err := src.Load(Config{Length: 64, Count: 8, Queries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 8 || len(gotQ) != 2 {
+		t.Fatalf("got %d/%d", len(got), len(gotQ))
+	}
+	for i := range got {
+		if got[i].Class != data[i].Class {
+			t.Fatalf("row %d class mismatch", i)
+		}
+		for j := range got[i].Values {
+			if math.Abs(got[i].Values[j]-data[i].Values[j]) > 1e-9 {
+				t.Fatalf("row %d value mismatch", i)
+			}
+		}
+	}
+	// Generate (the Source interface) also works.
+	g, gq := src.Generate(Config{Length: 64, Count: 8, Queries: 2})
+	if len(g) != 8 || len(gq) != 2 {
+		t.Fatal("Generate mismatch")
+	}
+}
+
+func TestFileSourceErrors(t *testing.T) {
+	if _, _, err := (FileSource{Name: "x", Path: "/nonexistent"}).Load(Config{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	// Rows shorter than the requested length are skipped; all-short fails.
+	path := t.TempDir() + "/short.txt"
+	os.WriteFile(path, []byte("1,2,3\n0,4,5\n"), 0o644)
+	if _, _, err := NewFileSource(path).Load(Config{Length: 64, Count: 5}); err == nil {
+		t.Fatal("all-short dataset accepted")
+	}
+}
+
+func TestFileSourceZNormalize(t *testing.T) {
+	path := t.TempDir() + "/raw.txt"
+	os.WriteFile(path, []byte("1,10,20,30,40\n"), 0o644)
+	src := NewFileSource(path)
+	src.ZNormalize = true
+	data, _, err := src.Load(Config{Length: 4, Count: 1, Queries: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := data[0].Values.Mean(); math.Abs(m) > 1e-9 {
+		t.Fatalf("mean = %v", m)
+	}
+}
