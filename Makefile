@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench vet fuzz experiments report clean
+.PHONY: all build test race race-short cover bench benchdiff vet fuzz experiments report clean
 
-all: build vet test
+all: build vet test race-short
 
 build:
 	$(GO) build ./...
@@ -18,17 +18,28 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Race-check the two packages that run concurrent hot paths (the experiment
+# pool and the batch query engine) without paying for a full -race sweep.
+race-short:
+	$(GO) test -race ./internal/eval ./internal/index
+
 cover:
 	$(GO) test -cover ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Benchmark-regression harness: times the hot paths, writes BENCH_<date>.json
+# and fails if allocs/op regresses on a zero-allocation path.
+benchdiff:
+	$(GO) run ./cmd/sapla-bench
+
 # Short fuzzing bursts over every fuzz target.
 fuzz:
 	$(GO) test -fuzz=FuzzReadSeries -fuzztime=30s ./internal/tsio/
 	$(GO) test -fuzz=FuzzDecodeRepresentation -fuzztime=30s ./internal/tsio/
 	$(GO) test -fuzz=FuzzReduce -fuzztime=30s ./internal/core/
+	$(GO) test -fuzz=FuzzReducerReuse -fuzztime=30s ./internal/core/
 
 # Regenerate every paper table/figure at the default reduced scale.
 experiments:

@@ -14,7 +14,7 @@
 //	-count int      series per dataset override
 //	-queries int    queries per dataset override
 //	-m int          coefficient budget for the index experiments (default 12)
-//	-workers int    dataset-level parallelism (default GOMAXPROCS)
+//	-workers int    experiment worker pool size (default GOMAXPROCS)
 //	-csv dir        also write each experiment's rows as CSV into dir
 //
 // Figures 13–16 all come from the same index experiment, so "-fig 13" (or
@@ -42,7 +42,7 @@ func main() {
 	count := flag.Int("count", 0, "series per dataset override")
 	queries := flag.Int("queries", 0, "queries per dataset override")
 	m := flag.Int("m", 12, "coefficient budget for index experiments")
-	workers := flag.Int("workers", 0, "dataset-level parallelism")
+	workers := flag.Int("workers", 0, "experiment worker pool size (0 = GOMAXPROCS)")
 	csvDir := flag.String("csv", "", "also write each experiment's rows as CSV into this directory")
 	files := flag.String("files", "", "glob of real UCR text files to use instead of the synthetic archive")
 	flag.Parse()

@@ -4,7 +4,11 @@
 // Usage:
 //
 //	sapla-knn [-dataset CBF] [-method SAPLA] [-m 12] [-k 8]
-//	          [-length 256] [-count 100] [-queries 3]
+//	          [-length 256] [-count 100] [-queries 3] [-workers 0]
+//
+// All queries are answered through the batch engine (BatchKNN): a
+// work-stealing worker pool with per-worker reusable search workspaces.
+// -workers 0 uses GOMAXPROCS.
 package main
 
 import (
@@ -24,6 +28,7 @@ func main() {
 	length := flag.Int("length", 256, "series length")
 	count := flag.Int("count", 100, "stored series")
 	queries := flag.Int("queries", 3, "query series")
+	workers := flag.Int("workers", 0, "batch query workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	d, err := sapla.DatasetByName(*dataset)
@@ -65,43 +70,66 @@ func main() {
 	fmt.Printf("R-tree   : %d nodes (%d internal), height %d\n", rs.TotalNodes(), rs.InternalNodes, rs.Height)
 	fmt.Printf("DBCH-tree: %d nodes (%d internal), height %d\n\n", ds.TotalNodes(), ds.InternalNodes, ds.Height)
 
+	// Prepare every query once, then answer them all through the batch
+	// engine, per index.
+	qlist := make([]sapla.Query, len(qs))
 	for qi, inst := range qs {
 		qrep, err := meth.Reduce(inst.Values, *m)
 		if err != nil {
 			fatal(err)
 		}
-		query := sapla.NewQuery(inst.Values, qrep)
-		exact, _, err := scan.KNN(query, *k)
+		qlist[qi] = sapla.NewQuery(inst.Values, qrep)
+	}
+	type answered struct {
+		res   [][]sapla.Result
+		stats []sapla.SearchStats
+		took  time.Duration
+	}
+	batch := func(idx sapla.Index) answered {
+		start := time.Now()
+		res, stats, err := sapla.BatchKNN(idx, qlist, *k, *workers)
 		if err != nil {
 			fatal(err)
 		}
+		return answered{res, stats, time.Since(start)}
+	}
+	exact := batch(scan)
+	byTree := []struct {
+		name string
+		ans  answered
+	}{
+		{"R-tree", batch(rt)},
+		{"DBCH-tree", batch(db)},
+	}
+
+	for qi, inst := range qs {
 		truth := map[int]bool{}
-		for _, r := range exact {
+		for _, r := range exact.res[qi] {
 			truth[r.Entry.ID] = true
 		}
 		fmt.Printf("query %d (class %d):\n", qi, inst.Class)
-		for name, idx := range map[string]sapla.Index{"R-tree": rt, "DBCH-tree": db} {
-			start := time.Now()
-			res, stats, err := idx.KNN(query, *k)
-			if err != nil {
-				fatal(err)
-			}
+		for _, tr := range byTree {
+			stats := tr.ans.stats[qi]
 			var hits int
-			for _, r := range res {
+			for _, r := range tr.ans.res[qi] {
 				if truth[r.Entry.ID] {
 					hits++
 				}
 			}
-			fmt.Printf("  %-9s measured %3d/%d (ρ=%.3f)  accuracy %d/%d  %v\n",
-				name, stats.Measured, len(data),
-				float64(stats.Measured)/float64(len(data)), hits, *k,
-				time.Since(start).Round(time.Microsecond))
+			fmt.Printf("  %-9s measured %3d/%d (ρ=%.3f)  accuracy %d/%d\n",
+				tr.name, stats.Measured, len(data),
+				float64(stats.Measured)/float64(len(data)), hits, *k)
 		}
-		if len(exact) > 0 {
+		if len(exact.res[qi]) > 0 {
+			best := exact.res[qi][0]
 			fmt.Printf("  nearest: id=%d dist=%.4f class=%d\n",
-				exact[0].Entry.ID, exact[0].Dist, data[exact[0].Entry.ID].Class)
+				best.Entry.ID, best.Dist, data[best.Entry.ID].Class)
 		}
 	}
+	fmt.Printf("\nbatch of %d queries: linear %v, R-tree %v, DBCH-tree %v\n",
+		len(qlist), exact.took.Round(time.Microsecond),
+		byTree[0].ans.took.Round(time.Microsecond),
+		byTree[1].ans.took.Round(time.Microsecond))
 }
 
 func fatal(err error) {

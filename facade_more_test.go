@@ -141,3 +141,80 @@ func TestFacadeBulkLoad(t *testing.T) {
 		t.Fatalf("Len = %d", tree.Len())
 	}
 }
+
+func TestFacadePerformanceAPIs(t *testing.T) {
+	// Reusable reducer matches the pooled convenience path exactly.
+	c := randWalk(90, 300)
+	r := sapla.NewReducer()
+	var dst sapla.Linear
+	dst, err := r.ReduceInto(dst, c, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sapla.SAPLA().Reduce(c, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := want.(sapla.Linear)
+	if len(dst.Segs) != len(wl.Segs) {
+		t.Fatalf("segment count %d, want %d", len(dst.Segs), len(wl.Segs))
+	}
+	for i := range dst.Segs {
+		if dst.Segs[i] != wl.Segs[i] {
+			t.Fatalf("segment %d diverges", i)
+		}
+	}
+
+	// Distance workspace query matches a fresh query.
+	dw := sapla.NewDistWorkspace()
+	q := dw.NewQuery(c, dst)
+	if q.Prefix.Len() != len(c) {
+		t.Fatalf("workspace query prefix length %d", q.Prefix.Len())
+	}
+
+	// BatchKNN agrees with serial KNN through a SearchWorkspace.
+	tree, err := sapla.NewDBCH("SAPLA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	meth := sapla.SAPLA()
+	for id := 0; id < 40; id++ {
+		raw := randWalk(int64(200+id), 120)
+		rep, err := meth.Reduce(raw, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.Insert(sapla.NewEntry(id, raw, rep)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queries := make([]sapla.Query, 5)
+	for i := range queries {
+		raw := randWalk(int64(900+i), 120)
+		rep, err := meth.Reduce(raw, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries[i] = sapla.NewQuery(raw, rep)
+	}
+	batch, _, err := sapla.BatchKNN(tree, queries, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := sapla.NewSearchWorkspace()
+	var _ sapla.WorkspaceSearcher = tree
+	for qi, q := range queries {
+		res, _, err := tree.KNNWith(ws, q, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != len(batch[qi]) {
+			t.Fatalf("query %d: %d results vs batch %d", qi, len(res), len(batch[qi]))
+		}
+		for i := range res {
+			if res[i] != batch[qi][i] {
+				t.Fatalf("query %d result %d diverges", qi, i)
+			}
+		}
+	}
+}

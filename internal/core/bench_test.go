@@ -2,7 +2,29 @@ package core
 
 import (
 	"testing"
+
+	"sapla/internal/repr"
 )
+
+// BenchmarkReduce is the benchdiff-tracked hot path: a warmed-up Reducer
+// reducing a length-1024 series into a recycled representation must perform
+// zero heap allocations per call.
+func BenchmarkReduce(b *testing.B) {
+	c := randWalk(44, 1024)
+	r := NewReducer()
+	var dst repr.Linear
+	var err error
+	if dst, err = r.ReduceInto(dst, c, 12); err != nil { // warm-up
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if dst, err = r.ReduceInto(dst, c, 12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkSAPLAByLength verifies the near-linear growth of the full
 // three-stage pipeline (Table 1's O(n(N + log n)) row).

@@ -104,15 +104,17 @@ func (o *Online) Snapshot() (repr.Linear, error) {
 		if passes <= 0 {
 			passes = o.nSeg
 		}
-		st.refine(passes)
+		var sm, ms state
+		st.refine(passes, &sm, &ms)
 	}
 	if !o.params.SkipEndpointMove {
 		passes := o.params.MovePasses
 		if passes <= 0 {
 			passes = 1
 		}
+		order := pqueue.NewMaxHeap[int]()
 		for p := 0; p < passes; p++ {
-			if !st.moveEndpoints() {
+			if !st.moveEndpoints(order) {
 				break
 			}
 		}

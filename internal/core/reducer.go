@@ -1,0 +1,105 @@
+package core
+
+import (
+	"sync"
+
+	"sapla/internal/pqueue"
+	"sapla/internal/repr"
+	"sapla/internal/segment"
+	"sapla/internal/ts"
+)
+
+// Reducer is a reusable SAPLA reduction workspace: it owns the working
+// segmentation, the split/merge scratch states, the prefix-sum buffers and
+// the two bookkeeping heaps, so repeated reductions perform zero heap
+// allocations after warm-up (ReduceInto) or allocate only the returned
+// representation (Reduce). A Reducer is not safe for concurrent use; create
+// one per goroutine, or go through SAPLA.Reduce, which draws from a pool.
+type Reducer struct {
+	cfg    SAPLA
+	st     state
+	sm, ms state // refine scratch
+	prefix ts.Prefix
+	eta    *pqueue.Heap[struct{}]
+	order  *pqueue.Heap[int]
+}
+
+// NewReducer returns a reusable reducer with the paper's default iteration
+// budgets.
+func NewReducer() *Reducer { return NewReducerFor(SAPLA{}) }
+
+// NewReducerFor returns a reusable reducer for the given configuration.
+func NewReducerFor(cfg SAPLA) *Reducer {
+	return &Reducer{
+		cfg:   cfg,
+		eta:   pqueue.NewMinHeap[struct{}](),
+		order: pqueue.NewMaxHeap[int](),
+	}
+}
+
+// Name implements the reduce.Method interface.
+func (*Reducer) Name() string { return "SAPLA" }
+
+// Reduce reduces c to N = m/3 adaptive linear segments, allocating only the
+// returned representation.
+func (r *Reducer) Reduce(c ts.Series, m int) (repr.Representation, error) {
+	out, err := r.ReduceInto(repr.Linear{}, c, m)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReduceInto reduces c to N = m/3 adaptive linear segments, writing the
+// result into dst's segment buffer. With a dst recycled from a previous call
+// the reduction performs zero heap allocations once the workspace has warmed
+// up on the largest series length in play.
+func (r *Reducer) ReduceInto(dst repr.Linear, c ts.Series, m int) (repr.Linear, error) {
+	if err := c.Validate(); err != nil {
+		return repr.Linear{}, err
+	}
+	nSeg, err := segmentCount(len(c), m)
+	if err != nil {
+		return repr.Linear{}, err
+	}
+	r.prefix.Reset(c)
+	st := &r.st
+	st.c, st.p, st.exact = c, &r.prefix, r.cfg.ExactBounds
+	st.initialize(nSeg, r.eta)
+	if st.exact {
+		for i := range st.segs {
+			g := &st.segs[i]
+			g.beta = segment.ExactMaxDeviation(st.c[g.start:g.end+1], g.line)
+		}
+	}
+
+	st.adjustToCount(nSeg)
+	if !r.cfg.SkipRefine {
+		passes := r.cfg.RefinePasses
+		if passes <= 0 {
+			passes = nSeg
+		}
+		st.refine(passes, &r.sm, &r.ms)
+	}
+
+	if !r.cfg.SkipEndpointMove {
+		passes := r.cfg.MovePasses
+		if passes <= 0 {
+			passes = 1
+		}
+		for p := 0; p < passes; p++ {
+			if !st.moveEndpoints(r.order) {
+				break
+			}
+		}
+	}
+	out := st.appendRepr(dst)
+	// Release the caller's series so the workspace does not pin it.
+	st.c = nil
+	return out, nil
+}
+
+// reducerPool backs SAPLA.Reduce: every facade-level reduction borrows a
+// warmed-up workspace instead of reallocating state, segments and prefix
+// sums per call.
+var reducerPool = sync.Pool{New: func() any { return NewReducer() }}

@@ -59,12 +59,17 @@ func New() *SAPLA { return &SAPLA{} }
 func (*SAPLA) Name() string { return "SAPLA" }
 
 // Reduce reduces c to N = m/3 adaptive linear segments ⟨aᵢ, bᵢ, rᵢ⟩.
+// It draws a Reducer from a package pool, so repeated calls perform no heap
+// allocations beyond the returned representation.
 func (s *SAPLA) Reduce(c ts.Series, m int) (repr.Representation, error) {
-	_, _, final, err := s.ReduceStages(c, m)
+	r := reducerPool.Get().(*Reducer)
+	r.cfg = *s
+	out, err := r.ReduceInto(repr.Linear{}, c, m)
+	reducerPool.Put(r)
 	if err != nil {
 		return nil, err
 	}
-	return final, nil
+	return out, nil
 }
 
 // ReduceStages runs SAPLA and additionally returns the intermediate
@@ -94,7 +99,8 @@ func (s *SAPLA) ReduceStages(c ts.Series, m int) (init, afterSM, final repr.Line
 		if passes <= 0 {
 			passes = nSeg
 		}
-		st.refine(passes)
+		var sm, ms state
+		st.refine(passes, &sm, &ms)
 	}
 	afterSM = st.toRepr()
 
@@ -103,8 +109,9 @@ func (s *SAPLA) ReduceStages(c ts.Series, m int) (init, afterSM, final repr.Line
 		if passes <= 0 {
 			passes = 1
 		}
+		order := pqueue.NewMaxHeap[int]()
 		for p := 0; p < passes; p++ {
-			if !st.moveEndpoints() {
+			if !st.moveEndpoints(order) {
 				break
 			}
 		}
@@ -147,14 +154,25 @@ type state struct {
 	exact bool // ExactBounds mode: β is the true segment max deviation
 }
 
-// initialize is Algorithm 4.2: scan once, growing the current segment and
-// cutting whenever the Increment Area ranks among the N−1 largest seen.
+// initialize is Algorithm 4.2 on a fresh state (test and ReduceStages entry;
+// the Reducer drives the buffer-reusing form directly).
 func initialize(c ts.Series, nSeg int) *state {
 	st := &state{c: c, p: ts.NewPrefix(c)}
+	st.initialize(nSeg, pqueue.NewMinHeap[struct{}]())
+	return st
+}
+
+// initialize is Algorithm 4.2: scan once, growing the current segment and
+// cutting whenever the Increment Area ranks among the N−1 largest seen.
+// st.c and st.p must already describe the series; the segment buffer and the
+// η queue are reset and reused.
+func (st *state) initialize(nSeg int, eta *pqueue.Heap[struct{}]) {
+	st.segs = st.segs[:0]
+	eta.Reset()
+	c := st.c
 	n := len(c)
 	// η holds the N−1 largest increment areas seen; its minimum is the
 	// increment threshold.
-	eta := pqueue.NewMin[struct{}]()
 	capacity := nSeg - 1
 
 	start := 0
@@ -172,7 +190,7 @@ func initialize(c ts.Series, nSeg int) *state {
 		for pos < n {
 			inc := segment.Append(line, l, c[pos])
 			area := segment.IncrementArea(inc, line, l)
-			if capacity > 0 && (eta.Len() < capacity || area > eta.Peek().Priority) {
+			if capacity > 0 && (eta.Len() < capacity || area > eta.PeekPriority()) {
 				if eta.Len() >= capacity {
 					eta.Pop()
 				}
@@ -192,7 +210,6 @@ func initialize(c ts.Series, nSeg int) *state {
 		st.push(seg{line: line, start: start, end: end, beta: beta})
 		start = end + 1
 	}
-	return st
 }
 
 func (st *state) push(g seg) { st.segs = append(st.segs, g) }
@@ -317,22 +334,25 @@ func (st *state) adjustToCount(nSeg int) {
 	}
 }
 
-// clone deep-copies the segmentation (the series and prefix are shared).
-func (st *state) clone() *state {
-	return &state{c: st.c, p: st.p, segs: append([]seg(nil), st.segs...)}
+// copyInto copies the segmentation into dst, reusing dst's segment buffer
+// (the series and prefix are shared).
+func (st *state) copyInto(dst *state) {
+	dst.c, dst.p, dst.exact = st.c, st.p, st.exact
+	dst.segs = append(dst.segs[:0], st.segs...)
 }
 
 // refine is the second half of Algorithm 4.3: at size N, evaluate
 // split-then-merge (β^sm) and merge-then-split (β^ms) moves and apply the
 // better one while the sum upper bound β decreases. Marks ensure a segment
 // is split or merged at most once per refinement, bounding the loop.
-func (st *state) refine(maxPasses int) {
+// sm and ms are caller-owned scratch states reused across passes.
+func (st *state) refine(maxPasses int, sm, ms *state) {
 	for pass := 0; pass < maxPasses; pass++ {
 		beta := st.totalBeta()
 
-		sm := st.clone()
+		st.copyInto(sm)
 		okSM := sm.trySplitThenMerge()
-		ms := st.clone()
+		st.copyInto(ms)
 		okMS := ms.tryMergeThenSplit()
 
 		bestBeta := beta
@@ -346,7 +366,7 @@ func (st *state) refine(maxPasses int) {
 		if best == nil {
 			return
 		}
-		st.segs = best.segs
+		st.segs = append(st.segs[:0], best.segs...)
 	}
 }
 
@@ -387,10 +407,7 @@ func (st *state) betaApprox(lo, hi int, ln segment.Line) float64 {
 		return segment.ExactMaxDeviation(st.c[lo:hi], ln)
 	}
 	l := hi - lo
-	ids := []int{0, (l - 1) / 4, (l - 1) / 2, 3 * (l - 1) / 4, l - 1}
-	pts := segment.SlicePoints(st.c[lo:hi])
-	lp := segment.LinePoints(ln)
-	m := segment.GetMax(ids, pts, lp, lp)
+	m := segment.SampleDev(st.c[lo:hi], ln)
 	f := l - 1
 	if f < 1 {
 		f = 1
@@ -438,32 +455,38 @@ func (st *state) applyBoundary(i, cut int) {
 
 // moveEndpoints is Algorithm 4.4: process segments in decreasing-β order;
 // for each, evaluate the four greedy boundary moves (β^a..β^d) and apply the
-// best improving one. It reports whether any move was applied.
-func (st *state) moveEndpoints() bool {
-	order := pqueue.NewMax[int]()
+// best improving one. It reports whether any move was applied. order is a
+// caller-owned scratch heap reused across passes.
+func (st *state) moveEndpoints(order *pqueue.Heap[int]) bool {
+	order.Reset()
 	for i, g := range st.segs {
 		order.Push(g.beta, i)
 	}
 	movedAny := false
 	for order.Len() > 0 {
-		i := order.Pop().Value
+		_, i := order.Pop()
 		type cand struct {
 			pair, cut int
 			sum       float64
 		}
-		var cands []cand
+		var cands [4]cand
+		nc := 0
 		if i+1 < len(st.segs) {
 			ca, sa := st.greedyBoundary(i, +1) // β^a: grow right endpoint
 			cb, sb := st.greedyBoundary(i, -1) // β^b: shrink right endpoint
-			cands = append(cands, cand{i, ca, sa}, cand{i, cb, sb})
+			cands[nc] = cand{i, ca, sa}
+			cands[nc+1] = cand{i, cb, sb}
+			nc += 2
 		}
 		if i > 0 {
 			cc, sc := st.greedyBoundary(i-1, -1) // β^c: grow left endpoint
 			cd, sd := st.greedyBoundary(i-1, +1) // β^d: shrink left endpoint
-			cands = append(cands, cand{i - 1, cc, sc}, cand{i - 1, cd, sd})
+			cands[nc] = cand{i - 1, cc, sc}
+			cands[nc+1] = cand{i - 1, cd, sd}
+			nc += 2
 		}
 		best := -1
-		for k, cd := range cands {
+		for k, cd := range cands[:nc] {
 			cur := st.segs[cd.pair].beta + st.segs[cd.pair+1].beta
 			if cd.sum < cur-improveEps && (best < 0 || cd.sum < cands[best].sum) {
 				best = k
@@ -480,11 +503,19 @@ func (st *state) moveEndpoints() bool {
 	return movedAny
 }
 
-// toRepr converts the working segmentation to a repr.Linear.
+// toRepr converts the working segmentation to a freshly allocated
+// repr.Linear.
 func (st *state) toRepr() repr.Linear {
-	out := repr.Linear{N: len(st.c), Segs: make([]repr.LinearSeg, len(st.segs))}
-	for i, g := range st.segs {
-		out.Segs[i] = repr.LinearSeg{Line: g.line, R: g.end}
+	return st.appendRepr(repr.Linear{})
+}
+
+// appendRepr writes the working segmentation into dst, reusing dst's segment
+// buffer, and returns the updated representation.
+func (st *state) appendRepr(dst repr.Linear) repr.Linear {
+	dst.N = len(st.c)
+	dst.Segs = dst.Segs[:0]
+	for _, g := range st.segs {
+		dst.Segs = append(dst.Segs, repr.LinearSeg{Line: g.line, R: g.end})
 	}
-	return out
+	return dst
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"sapla/internal/pqueue"
 	"sapla/internal/segment"
 )
 
@@ -124,7 +125,7 @@ func TestMoveEndpointsNeverIncreasesTotalBeta(t *testing.T) {
 			g.beta = st.betaApprox(g.start, g.end+1, g.line)
 		}
 		before := st.totalBeta()
-		st.moveEndpoints()
+		st.moveEndpoints(pqueue.NewMaxHeap[int]())
 		after := st.totalBeta()
 		if after > before+1e-9 {
 			t.Fatalf("seed %d: endpoint movement raised β: %v → %v", seed, before, after)

@@ -1,0 +1,121 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+
+	"sapla/internal/core"
+	"sapla/internal/repr"
+	"sapla/internal/ts"
+)
+
+func wsWalk(seed int64, n int) ts.Series {
+	rng := rand.New(rand.NewSource(seed))
+	s := make(ts.Series, n)
+	var v float64
+	for i := range s {
+		v += rng.NormFloat64()
+		s[i] = v
+	}
+	return s
+}
+
+func wsReps(t testing.TB, seeds []int64, n, m int) []repr.Linear {
+	t.Helper()
+	meth := core.New()
+	out := make([]repr.Linear, len(seeds))
+	for i, sd := range seeds {
+		rep, err := meth.Reduce(wsWalk(sd, n), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = rep.(repr.Linear)
+	}
+	return out
+}
+
+func TestWorkspaceNewQueryMatchesFresh(t *testing.T) {
+	w := NewWorkspace()
+	for seed := int64(0); seed < 5; seed++ {
+		raw := wsWalk(seed, 100+int(seed)*13)
+		fresh := NewQuery(raw, nil)
+		reused := w.NewQuery(raw, nil)
+		if reused.Prefix.Len() != fresh.Prefix.Len() {
+			t.Fatalf("seed %d: prefix length mismatch", seed)
+		}
+		for lo := 0; lo < fresh.Prefix.Len(); lo += 7 {
+			hi := lo + 5
+			if hi > fresh.Prefix.Len() {
+				hi = fresh.Prefix.Len()
+			}
+			if lo >= hi {
+				continue
+			}
+			if fresh.Prefix.Sum(lo, hi) != reused.Prefix.Sum(lo, hi) {
+				t.Fatalf("seed %d: prefix sums diverge on window [%d,%d)", seed, lo, hi)
+			}
+		}
+	}
+}
+
+func TestPairwisePARMatchesScalar(t *testing.T) {
+	qs := wsReps(t, []int64{1, 2, 3}, 128, 12)
+	cs := wsReps(t, []int64{10, 11, 12, 13}, 128, 12)
+	w := NewWorkspace()
+	got, err := w.PairwisePAR(qs, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(qs)*len(cs) {
+		t.Fatalf("matrix size %d, want %d", len(got), len(qs)*len(cs))
+	}
+	for qi := range qs {
+		for ci := range cs {
+			want, err := PAR(qs[qi], cs[ci])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[qi*len(cs)+ci] != want {
+				t.Fatalf("cell (%d,%d) = %v, want %v", qi, ci, got[qi*len(cs)+ci], want)
+			}
+		}
+	}
+	// A second, smaller batch must reuse the buffer and stay correct.
+	got2, err := w.PairwisePAR(qs[:1], cs[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want, _ := PAR(qs[0], cs[1]); got2[1] != want {
+		t.Fatalf("reused buffer cell = %v, want %v", got2[1], want)
+	}
+}
+
+// BenchmarkDistPAR is the benchdiff-tracked hot path: one Dist_PAR
+// evaluation between two warmed representations must not allocate.
+func BenchmarkDistPAR(b *testing.B) {
+	reps := wsReps(b, []int64{101, 102}, 1024, 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PAR(reps[0], reps[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPairwisePAR prices the batch kernel per pair (buffer reused).
+func BenchmarkPairwisePAR(b *testing.B) {
+	qs := wsReps(b, []int64{1, 2, 3, 4}, 1024, 12)
+	cs := wsReps(b, []int64{10, 11, 12, 13, 14, 15, 16, 17}, 1024, 12)
+	w := NewWorkspace()
+	if _, err := w.PairwisePAR(qs, cs); err != nil { // warm-up
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.PairwisePAR(qs, cs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,10 +1,7 @@
 package eval
 
 import (
-	"sync"
-
 	"sapla/internal/mining"
-	"sapla/internal/ucr"
 )
 
 // ClassificationRow is one method's k-NN classification quality over the
@@ -19,63 +16,59 @@ type ClassificationRow struct {
 }
 
 // ClassificationExperiment trains a k-NN classifier per method on every
-// dataset's stored series and classifies the held-out queries.
+// dataset's stored series and classifies the held-out queries. Work is
+// stolen at (dataset × method) granularity from the shared pool — instead
+// of the old unbounded goroutine-per-dataset fan-out — and folded in order,
+// so results are identical for any Options.Workers.
 func ClassificationExperiment(opt Options, m, k int) ([]ClassificationRow, error) {
 	methods := opt.Methods()
 	type acc struct {
 		accSum, rhoSum float64
 		datasets       int
 	}
-	accs := make([]acc, len(methods))
-	var mu sync.Mutex
-	var firstErr error
 
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = 4
-	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for _, d := range opt.Datasets {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(d ucr.Source) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			train, test := d.Generate(opt.Cfg)
-			if len(test) == 0 {
-				return
-			}
-			for mi, meth := range methods {
-				clf, err := mining.NewClassifier(meth, m, k)
-				if err == nil {
-					err = clf.Train(train)
-				}
-				var accuracy, rho float64
-				if err == nil {
-					accuracy, rho, err = clf.Evaluate(test)
-				}
-				mu.Lock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
-				accs[mi].accSum += accuracy
-				accs[mi].rhoSum += rho
-				accs[mi].datasets++
-				mu.Unlock()
-			}
-		}(d)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	nm, nd := len(methods), len(opt.Datasets)
+	slots := make([]acc, nd*nm)
+	errs := make([]error, nd*nm)
+	gens := newLabelledCache(opt)
+
+	runIndexed(nd*nm, opt.Workers, func(u int) {
+		di, mi := u/nm, u%nm
+		train, test := gens.get(di)
+		if len(test) == 0 {
+			return
+		}
+		meth := methods[mi]
+		clf, err := mining.NewClassifier(meth, m, k)
+		if err == nil {
+			err = clf.Train(train)
+		}
+		var accuracy, rho float64
+		if err == nil {
+			accuracy, rho, err = clf.Evaluate(test)
+		}
+		if err != nil {
+			errs[u] = err
+			return
+		}
+		a := &slots[u]
+		a.accSum += accuracy
+		a.rhoSum += rho
+		a.datasets++
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
 	}
 
-	rows := make([]ClassificationRow, 0, len(methods))
+	accs := make([]acc, nm)
+	for u := range slots {
+		mi := u % nm
+		accs[mi].accSum += slots[u].accSum
+		accs[mi].rhoSum += slots[u].rhoSum
+		accs[mi].datasets += slots[u].datasets
+	}
+
+	rows := make([]ClassificationRow, 0, nm)
 	for mi, meth := range methods {
 		a := accs[mi]
 		if a.datasets == 0 {

@@ -37,177 +37,215 @@ type IndexRow struct {
 // TotalIngest is the paper's Figure 14a quantity: reduction plus tree build.
 func (r IndexRow) TotalIngest() time.Duration { return r.ReduceTime + r.IngestTime }
 
+// indexAcc accumulates one method × tree cell.
+type indexAcc struct {
+	rho, accSum          float64
+	reduce, ingest, knnT time.Duration
+	internal             float64
+	leaf                 float64
+	height               float64
+	trees                int
+	queries              int
+}
+
+func (a *indexAcc) add(b indexAcc) {
+	a.rho += b.rho
+	a.accSum += b.accSum
+	a.reduce += b.reduce
+	a.ingest += b.ingest
+	a.knnT += b.knnT
+	a.internal += b.internal
+	a.leaf += b.leaf
+	a.height += b.height
+	a.trees += b.trees
+	a.queries += b.queries
+}
+
+// truthCache computes each dataset's exact-k-NN ground truth at most once,
+// shared by every method unit of that dataset.
+type truthCache struct {
+	once  []sync.Once
+	truth [][][]int
+}
+
+func newTruthCache(n int) *truthCache {
+	return &truthCache{once: make([]sync.Once, n), truth: make([][][]int, n)}
+}
+
+func (tc *truthCache) get(di int, data, queries []ts.Series, maxK int) [][]int {
+	tc.once[di].Do(func() {
+		t := make([][]int, len(queries))
+		for qi, q := range queries {
+			t[qi] = exactKNNIDs(data, q, maxK)
+		}
+		tc.truth[di] = t
+	})
+	return tc.truth[di]
+}
+
 // IndexExperiment regenerates Figures 13, 14, 15 and 16 at one coefficient
 // budget M: for every dataset and method it builds an R-tree and a
 // DBCH-tree, runs every query at every K through both (plus the linear
 // scan), and aggregates pruning power, accuracy, times and tree shapes.
+// Work is stolen at (dataset × method) granularity — each unit builds its
+// two trees and answers its queries on a reusable search workspace — and the
+// per-unit slots are folded in order, so results are identical for any
+// Options.Workers.
 func IndexExperiment(opt Options, m int) ([]IndexRow, error) {
 	methods := opt.Methods()
-	type acc struct {
-		rho, accSum          float64
-		reduce, ingest, knnT time.Duration
-		internal             float64
-		leaf                 float64
-		height               float64
-		trees                int
-		queries              int
-	}
-	// [method][tree 0=R,1=DBCH] plus one linear-scan accumulator.
-	accs := make([][2]acc, len(methods))
-	var linear acc
-	var mu sync.Mutex
-	var firstErr error
-	fail := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
+	nm, nd := len(methods), len(opt.Datasets)
+	maxK := 0
+	for _, k := range opt.Ks {
+		if k > maxK {
+			maxK = k
 		}
-		mu.Unlock()
 	}
 
-	forEachDataset(opt, func(data, queries []ts.Series) {
+	dc := newDatasetCache(opt)
+	tc := newTruthCache(nd)
+	// Unit layout: di*(nm+1) + mi, where mi == nm is the dataset's
+	// linear-scan baseline.
+	nUnits := nd * (nm + 1)
+	slots := make([][2]indexAcc, nUnits)
+	linSlots := make([]indexAcc, nUnits)
+	errs := make([]error, nUnits)
+
+	runIndexed(nUnits, opt.Workers, func(u int) {
+		di, mi := u/(nm+1), u%(nm+1)
+		data, queries := dc.get(di)
 		if len(data) == 0 {
 			return
 		}
-		// Ground truth per query for the largest K (prefix gives smaller K).
-		maxK := 0
-		for _, k := range opt.Ks {
-			if k > maxK {
-				maxK = k
-			}
-		}
-		truth := make([][]int, len(queries))
-		for qi, q := range queries {
-			truth[qi] = exactKNNIDs(data, q, maxK)
-		}
 
-		local := make([][2]acc, len(methods))
-		var localLinear acc
-
-		// Linear scan baseline timing (method-independent).
-		scan := index.NewLinearScan()
-		for id, c := range data {
-			if err := scan.Insert(index.NewEntry(id, c, nil)); err != nil {
-				fail(err)
-				return
+		if mi == nm {
+			// Linear scan baseline timing (method-independent), answered
+			// through the batch engine. workers=1: the experiment pool
+			// already owns the parallelism.
+			scan := index.NewLinearScan()
+			for id, c := range data {
+				if err := scan.Insert(index.NewEntry(id, c, nil)); err != nil {
+					errs[u] = err
+					return
+				}
 			}
-		}
-		for _, q := range queries {
+			qs := make([]dist.Query, len(queries))
+			for qi, q := range queries {
+				qs[qi] = dist.Query{Raw: q}
+			}
+			la := &linSlots[u]
 			for range opt.Ks {
 				startT := time.Now()
-				_, st, err := scan.KNN(dist.Query{Raw: q}, maxK)
+				_, sts, err := index.BatchKNN(scan, qs, maxK, 1)
+				la.knnT += time.Since(startT)
 				if err != nil {
-					fail(err)
+					errs[u] = err
 					return
 				}
-				localLinear.knnT += time.Since(startT)
-				localLinear.rho += float64(st.Measured) / float64(len(data))
-				localLinear.accSum += 1
-				localLinear.queries++
+				for _, st := range sts {
+					la.rho += float64(st.Measured) / float64(len(data))
+					la.accSum += 1
+					la.queries++
+				}
 			}
+			return
 		}
 
-		for mi, meth := range methods {
-			// Reduce all series once (the dominant share of Figure 14a).
-			entries := make([]*index.Entry, len(data))
-			startReduce := time.Now()
-			for id, c := range data {
-				rep, err := meth.Reduce(c, m)
-				if err != nil {
-					fail(err)
+		meth := methods[mi]
+		truth := tc.get(di, data, queries, maxK)
+		local := &slots[u]
+
+		// Reduce all series once (the dominant share of Figure 14a).
+		entries := make([]*index.Entry, len(data))
+		startReduce := time.Now()
+		for id, c := range data {
+			rep, err := meth.Reduce(c, m)
+			if err != nil {
+				errs[u] = err
+				return
+			}
+			entries[id] = index.NewEntry(id, c, rep)
+		}
+		reduceElapsed := time.Since(startReduce)
+		local[0].reduce += reduceElapsed
+		local[1].reduce += reduceElapsed
+		rt, err := index.NewRTree(meth.Name(), opt.Cfg.Length, m, opt.MinFill, opt.MaxFill)
+		if err != nil {
+			errs[u] = err
+			return
+		}
+		db, err := index.NewDBCH(meth.Name(), opt.MinFill, opt.MaxFill)
+		if err != nil {
+			errs[u] = err
+			return
+		}
+		trees := []struct {
+			idx   index.WorkspaceSearcher
+			stats func() index.TreeStats
+			slot  int
+		}{
+			{rt, rt.Stats, 0},
+			{db, db.Stats, 1},
+		}
+		for _, tr := range trees {
+			startT := time.Now()
+			for _, e := range entries {
+				if err := tr.idx.Insert(e); err != nil {
+					errs[u] = err
 					return
 				}
-				entries[id] = index.NewEntry(id, c, rep)
 			}
-			reduceElapsed := time.Since(startReduce)
-			local[mi][0].reduce += reduceElapsed
-			local[mi][1].reduce += reduceElapsed
-			rt, err := index.NewRTree(meth.Name(), opt.Cfg.Length, m, opt.MinFill, opt.MaxFill)
+			a := &local[tr.slot]
+			a.ingest += time.Since(startT)
+			st := tr.stats()
+			a.internal += float64(st.InternalNodes)
+			a.leaf += float64(st.LeafNodes)
+			a.height += float64(st.Height)
+			a.trees++
+		}
+		ws := index.NewWorkspace()
+		for qi, q := range queries {
+			qrep, err := meth.Reduce(q, m)
 			if err != nil {
-				fail(err)
+				errs[u] = err
 				return
 			}
-			db, err := index.NewDBCH(meth.Name(), opt.MinFill, opt.MaxFill)
-			if err != nil {
-				fail(err)
-				return
-			}
-			trees := []struct {
-				idx   index.Index
-				stats func() index.TreeStats
-				slot  int
-			}{
-				{rt, rt.Stats, 0},
-				{db, db.Stats, 1},
-			}
-			for _, tr := range trees {
-				startT := time.Now()
-				for _, e := range entries {
-					if err := tr.idx.Insert(e); err != nil {
-						fail(err)
+			query := dist.NewQuery(q, qrep)
+			for _, k := range opt.Ks {
+				if k > len(data) {
+					k = len(data)
+				}
+				for _, tr := range trees {
+					startT := time.Now()
+					res, st, err := tr.idx.KNNWith(ws, query, k)
+					if err != nil {
+						errs[u] = err
 						return
 					}
-				}
-				a := &local[mi][tr.slot]
-				a.ingest += time.Since(startT)
-				st := tr.stats()
-				a.internal += float64(st.InternalNodes)
-				a.leaf += float64(st.LeafNodes)
-				a.height += float64(st.Height)
-				a.trees++
-			}
-			for qi, q := range queries {
-				qrep, err := meth.Reduce(q, m)
-				if err != nil {
-					fail(err)
-					return
-				}
-				query := dist.NewQuery(q, qrep)
-				for _, k := range opt.Ks {
-					if k > len(data) {
-						k = len(data)
-					}
-					for _, tr := range trees {
-						startT := time.Now()
-						res, st, err := tr.idx.KNN(query, k)
-						if err != nil {
-							fail(err)
-							return
-						}
-						el := time.Since(startT)
-						a := &local[mi][tr.slot]
-						a.knnT += el
-						a.rho += float64(st.Measured) / float64(len(data))
-						a.accSum += overlapCount(res, truth[qi][:k]) / float64(k)
-						a.queries++
-					}
+					el := time.Since(startT)
+					a := &local[tr.slot]
+					a.knnT += el
+					a.rho += float64(st.Measured) / float64(len(data))
+					a.accSum += overlapCount(res, truth[qi][:k]) / float64(k)
+					a.queries++
 				}
 			}
 		}
-
-		mu.Lock()
-		for mi := range accs {
-			for s := 0; s < 2; s++ {
-				accs[mi][s].rho += local[mi][s].rho
-				accs[mi][s].accSum += local[mi][s].accSum
-				accs[mi][s].reduce += local[mi][s].reduce
-				accs[mi][s].ingest += local[mi][s].ingest
-				accs[mi][s].knnT += local[mi][s].knnT
-				accs[mi][s].internal += local[mi][s].internal
-				accs[mi][s].leaf += local[mi][s].leaf
-				accs[mi][s].height += local[mi][s].height
-				accs[mi][s].trees += local[mi][s].trees
-				accs[mi][s].queries += local[mi][s].queries
-			}
-		}
-		linear.knnT += localLinear.knnT
-		linear.rho += localLinear.rho
-		linear.accSum += localLinear.accSum
-		linear.queries += localLinear.queries
-		mu.Unlock()
 	})
-	if firstErr != nil {
-		return nil, firstErr
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+
+	// Sequential fold: dataset-major unit order fixes the accumulation order.
+	accs := make([][2]indexAcc, nm)
+	var linear indexAcc
+	for u := range slots {
+		mi := u % (nm + 1)
+		if mi == nm {
+			linear.add(linSlots[u])
+			continue
+		}
+		accs[mi][0].add(slots[u][0])
+		accs[mi][1].add(slots[u][1])
 	}
 
 	var rows []IndexRow

@@ -2,11 +2,9 @@ package eval
 
 import (
 	"sort"
-	"sync"
 	"time"
 
 	"sapla/internal/ts"
-	"sapla/internal/ucr"
 )
 
 // DatasetRow is one (dataset, method) cell of the per-dataset breakdown the
@@ -23,7 +21,8 @@ type DatasetRow struct {
 
 // ReductionByDataset runs the Figure 12 measurement per dataset instead of
 // aggregated, at a single coefficient budget m. Rows are sorted by dataset
-// then method order.
+// then method order. Work is stolen at (dataset × method) granularity; each
+// unit owns its row, so results are identical for any Options.Workers.
 func ReductionByDataset(opt Options, m int) ([]DatasetRow, error) {
 	methods := opt.Methods()
 	names := opt.MethodNames()
@@ -31,60 +30,53 @@ func ReductionByDataset(opt Options, m int) ([]DatasetRow, error) {
 	for i, n := range names {
 		order[n] = i
 	}
-	var mu sync.Mutex
-	var rows []DatasetRow
-	var firstErr error
 
-	var wg sync.WaitGroup
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = 4
-	}
-	sem := make(chan struct{}, workers)
-	for _, d := range opt.Datasets {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(d ucr.Source) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			insts, _ := d.Generate(opt.Cfg)
-			local := make([]DatasetRow, 0, len(methods))
-			for _, meth := range methods {
-				var dev, segDev float64
-				var elapsed time.Duration
-				for _, inst := range insts {
-					startT := time.Now()
-					rep, err := meth.Reduce(inst.Values, m)
-					elapsed += time.Since(startT)
-					if err != nil {
-						mu.Lock()
-						if firstErr == nil {
-							firstErr = err
-						}
-						mu.Unlock()
-						return
-					}
-					dev += ts.MaxDeviation(inst.Values, rep.Reconstruct())
-					segDev += SumSegMaxDev(inst.Values, rep)
-				}
-				n := float64(len(insts))
-				local = append(local, DatasetRow{
-					Dataset:      d.DatasetName(),
-					Method:       meth.Name(),
-					M:            m,
-					MaxDev:       dev / n,
-					SumSegMaxDev: segDev / n,
-					Time:         elapsed / time.Duration(len(insts)),
-				})
+	nm, nd := len(methods), len(opt.Datasets)
+	dc := newDatasetCache(opt)
+	slots := make([]DatasetRow, nd*nm)
+	filled := make([]bool, nd*nm)
+	errs := make([]error, nd*nm)
+
+	runIndexed(nd*nm, opt.Workers, func(u int) {
+		di, mi := u/nm, u%nm
+		data, _ := dc.get(di)
+		if len(data) == 0 {
+			return
+		}
+		meth := methods[mi]
+		var dev, segDev float64
+		var elapsed time.Duration
+		for _, c := range data {
+			startT := time.Now()
+			rep, err := meth.Reduce(c, m)
+			elapsed += time.Since(startT)
+			if err != nil {
+				errs[u] = err
+				return
 			}
-			mu.Lock()
-			rows = append(rows, local...)
-			mu.Unlock()
-		}(d)
+			dev += ts.MaxDeviation(c, rep.Reconstruct())
+			segDev += SumSegMaxDev(c, rep)
+		}
+		n := float64(len(data))
+		slots[u] = DatasetRow{
+			Dataset:      opt.Datasets[di].DatasetName(),
+			Method:       meth.Name(),
+			M:            m,
+			MaxDev:       dev / n,
+			SumSegMaxDev: segDev / n,
+			Time:         elapsed / time.Duration(len(data)),
+		}
+		filled[u] = true
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+
+	rows := make([]DatasetRow, 0, nd*nm)
+	for u, ok := range filled {
+		if ok {
+			rows = append(rows, slots[u])
+		}
 	}
 	sort.Slice(rows, func(i, j int) bool {
 		if rows[i].Dataset != rows[j].Dataset {

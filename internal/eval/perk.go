@@ -1,11 +1,8 @@
 package eval
 
 import (
-	"sync"
-
 	"sapla/internal/dist"
 	"sapla/internal/index"
-	"sapla/internal/ts"
 )
 
 // KRow is one (method, tree, K) point of the K-sweep behind Figure 13: how
@@ -20,124 +17,116 @@ type KRow struct {
 }
 
 // IndexByK runs the index experiment and reports pruning power and accuracy
-// separately per K instead of aggregated.
+// separately per K instead of aggregated. Like IndexExperiment, work is
+// stolen at (dataset × method) granularity and folded in order, so results
+// are identical for any Options.Workers.
 func IndexByK(opt Options, m int) ([]KRow, error) {
 	methods := opt.Methods()
+	nm, nd, nk := len(methods), len(opt.Datasets), len(opt.Ks)
+	maxK := 0
+	for _, k := range opt.Ks {
+		if k > maxK {
+			maxK = k
+		}
+	}
 	type acc struct {
 		rho, accSum float64
 		queries     int
 	}
-	// [method][tree][kIdx]
-	accs := make([][2][]acc, len(methods))
-	for i := range accs {
-		accs[i][0] = make([]acc, len(opt.Ks))
-		accs[i][1] = make([]acc, len(opt.Ks))
-	}
-	var mu sync.Mutex
-	var firstErr error
-	fail := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		mu.Unlock()
-	}
 
-	forEachDataset(opt, func(data, queries []ts.Series) {
+	dc := newDatasetCache(opt)
+	tc := newTruthCache(nd)
+	nUnits := nd * nm
+	// Unit u = di*nm + mi owns slots [u*2*nk, (u+1)*2*nk): tree-major, K-minor.
+	slots := make([]acc, nUnits*2*nk)
+	errs := make([]error, nUnits)
+
+	runIndexed(nUnits, opt.Workers, func(u int) {
+		di, mi := u/nm, u%nm
+		data, queries := dc.get(di)
 		if len(data) == 0 {
 			return
 		}
-		maxK := 0
-		for _, k := range opt.Ks {
-			if k > maxK {
-				maxK = k
+		truth := tc.get(di, data, queries, maxK)
+		meth := methods[mi]
+		entries := make([]*index.Entry, len(data))
+		for id, c := range data {
+			rep, err := meth.Reduce(c, m)
+			if err != nil {
+				errs[u] = err
+				return
+			}
+			entries[id] = index.NewEntry(id, c, rep)
+		}
+		rt, err := index.NewRTree(meth.Name(), opt.Cfg.Length, m, opt.MinFill, opt.MaxFill)
+		if err != nil {
+			errs[u] = err
+			return
+		}
+		db, err := index.NewDBCH(meth.Name(), opt.MinFill, opt.MaxFill)
+		if err != nil {
+			errs[u] = err
+			return
+		}
+		for _, e := range entries {
+			if err := rt.Insert(e); err != nil {
+				errs[u] = err
+				return
+			}
+			if err := db.Insert(e); err != nil {
+				errs[u] = err
+				return
 			}
 		}
-		truth := make([][]int, len(queries))
+		ws := index.NewWorkspace()
+		base := u * 2 * nk
 		for qi, q := range queries {
-			truth[qi] = exactKNNIDs(data, q, maxK)
-		}
-		local := make([][2][]acc, len(methods))
-		for i := range local {
-			local[i][0] = make([]acc, len(opt.Ks))
-			local[i][1] = make([]acc, len(opt.Ks))
-		}
-		for mi, meth := range methods {
-			entries := make([]*index.Entry, len(data))
-			for id, c := range data {
-				rep, err := meth.Reduce(c, m)
-				if err != nil {
-					fail(err)
-					return
-				}
-				entries[id] = index.NewEntry(id, c, rep)
-			}
-			rt, err := index.NewRTree(meth.Name(), opt.Cfg.Length, m, opt.MinFill, opt.MaxFill)
+			rep, err := meth.Reduce(q, m)
 			if err != nil {
-				fail(err)
+				errs[u] = err
 				return
 			}
-			db, err := index.NewDBCH(meth.Name(), opt.MinFill, opt.MaxFill)
-			if err != nil {
-				fail(err)
-				return
-			}
-			for _, e := range entries {
-				if err := rt.Insert(e); err != nil {
-					fail(err)
-					return
+			query := dist.NewQuery(q, rep)
+			for ki, k := range opt.Ks {
+				if k > len(data) {
+					k = len(data)
 				}
-				if err := db.Insert(e); err != nil {
-					fail(err)
-					return
-				}
-			}
-			for qi, q := range queries {
-				rep, err := meth.Reduce(q, m)
-				if err != nil {
-					fail(err)
-					return
-				}
-				query := dist.NewQuery(q, rep)
-				for ki, k := range opt.Ks {
-					if k > len(data) {
-						k = len(data)
+				for slot, idx := range []index.WorkspaceSearcher{rt, db} {
+					res, st, err := idx.KNNWith(ws, query, k)
+					if err != nil {
+						errs[u] = err
+						return
 					}
-					for slot, idx := range []index.Index{rt, db} {
-						res, st, err := idx.KNN(query, k)
-						if err != nil {
-							fail(err)
-							return
-						}
-						a := &local[mi][slot][ki]
-						a.rho += float64(st.Measured) / float64(len(data))
-						a.accSum += overlapCount(res, truth[qi][:k]) / float64(k)
-						a.queries++
-					}
+					a := &slots[base+slot*nk+ki]
+					a.rho += float64(st.Measured) / float64(len(data))
+					a.accSum += overlapCount(res, truth[qi][:k]) / float64(k)
+					a.queries++
 				}
 			}
 		}
-		mu.Lock()
-		for mi := range accs {
-			for slot := 0; slot < 2; slot++ {
-				for ki := range accs[mi][slot] {
-					accs[mi][slot][ki].rho += local[mi][slot][ki].rho
-					accs[mi][slot][ki].accSum += local[mi][slot][ki].accSum
-					accs[mi][slot][ki].queries += local[mi][slot][ki].queries
-				}
-			}
-		}
-		mu.Unlock()
 	})
-	if firstErr != nil {
-		return nil, firstErr
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+
+	// Sequential fold in unit order.
+	accs := make([]acc, nm*2*nk)
+	for u := 0; u < nUnits; u++ {
+		mi := u % nm
+		for j := 0; j < 2*nk; j++ {
+			s := slots[u*2*nk+j]
+			a := &accs[mi*2*nk+j]
+			a.rho += s.rho
+			a.accSum += s.accSum
+			a.queries += s.queries
+		}
 	}
 
 	var rows []KRow
 	for mi, meth := range methods {
 		for slot, tree := range []string{TreeR, TreeDBCH} {
 			for ki, k := range opt.Ks {
-				a := accs[mi][slot][ki]
+				a := accs[mi*2*nk+slot*nk+ki]
 				if a.queries == 0 {
 					continue
 				}

@@ -1,0 +1,138 @@
+package eval
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sapla/internal/ts"
+	"sapla/internal/ucr"
+)
+
+// runIndexed runs fn(i) for every i in [0, n) on a bounded worker pool.
+// Units are claimed from a shared atomic counter (work stealing), so one
+// slow unit never idles the other workers — the failure mode of the old
+// dataset-level fan-out, where the slowest dataset serialised the tail of
+// every experiment. workers <= 0 means GOMAXPROCS.
+//
+// Determinism contract: fn must write its results into per-index slots and
+// the caller must fold the slots sequentially afterwards. That fixes the
+// floating-point accumulation order, so every derived figure is identical
+// for any worker count.
+func runIndexed(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// datasetCache generates each dataset at most once, on demand, whichever
+// unit touches it first — the piece that lets experiments parallelise below
+// dataset granularity without regenerating data per unit. Safe for
+// concurrent use.
+type datasetCache struct {
+	opt     Options
+	once    []sync.Once
+	data    [][]ts.Series
+	queries [][]ts.Series
+}
+
+func newDatasetCache(opt Options) *datasetCache {
+	n := len(opt.Datasets)
+	return &datasetCache{
+		opt:     opt,
+		once:    make([]sync.Once, n),
+		data:    make([][]ts.Series, n),
+		queries: make([][]ts.Series, n),
+	}
+}
+
+// get returns dataset di's stored series and held-out queries, generating
+// them on first use.
+func (dc *datasetCache) get(di int) (data, queries []ts.Series) {
+	dc.once[di].Do(func() {
+		insts, qinsts := dc.opt.Datasets[di].Generate(dc.opt.Cfg)
+		dc.data[di] = seriesOf(insts)
+		dc.queries[di] = seriesOf(qinsts)
+	})
+	return dc.data[di], dc.queries[di]
+}
+
+// generateAll forces every dataset into the cache, in parallel. Experiments
+// that need the generated shapes up front (to lay out work units) call this
+// instead of generating lazily.
+func (dc *datasetCache) generateAll(workers int) {
+	runIndexed(len(dc.opt.Datasets), workers, func(di int) { dc.get(di) })
+}
+
+// labelledCache is the datasetCache analogue for experiments that need the
+// labelled instances (classification), not bare series.
+type labelledCache struct {
+	opt   Options
+	once  []sync.Once
+	train [][]ucr.Instance
+	test  [][]ucr.Instance
+}
+
+func newLabelledCache(opt Options) *labelledCache {
+	n := len(opt.Datasets)
+	return &labelledCache{
+		opt:   opt,
+		once:  make([]sync.Once, n),
+		train: make([][]ucr.Instance, n),
+		test:  make([][]ucr.Instance, n),
+	}
+}
+
+func (lc *labelledCache) get(di int) (train, test []ucr.Instance) {
+	lc.once[di].Do(func() {
+		lc.train[di], lc.test[di] = lc.opt.Datasets[di].Generate(lc.opt.Cfg)
+	})
+	return lc.train[di], lc.test[di]
+}
+
+func seriesOf(insts []ucr.Instance) []ts.Series {
+	out := make([]ts.Series, len(insts))
+	for i := range insts {
+		out[i] = insts[i].Values
+	}
+	return out
+}
+
+// firstError returns the first non-nil error in slot order — a deterministic
+// replacement for the old "whichever goroutine locked the mutex first".
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,8 +1,6 @@
 package eval
 
 import (
-	"runtime"
-	"sync"
 	"time"
 
 	"sapla/internal/ts"
@@ -22,7 +20,9 @@ type ReductionRow struct {
 
 // ReductionExperiment regenerates Figure 12 (a: max deviation, b:
 // dimensionality-reduction time): every method reduces every series of every
-// dataset at every M.
+// dataset at every M. Work is stolen at (dataset × series) granularity from
+// the shared pool; every series owns an accumulator slot and the slots are
+// folded in series order, so the result is identical for any Options.Workers.
 func ReductionExperiment(opt Options) ([]ReductionRow, error) {
 	methods := opt.Methods()
 	type acc struct {
@@ -30,59 +30,63 @@ func ReductionExperiment(opt Options) ([]ReductionRow, error) {
 		elapsed     time.Duration
 		n           int
 	}
-	accs := make([][]acc, len(methods)) // [method][mIdx]
-	for i := range accs {
-		accs[i] = make([]acc, len(opt.Ms))
-	}
-	var mu sync.Mutex
-	var firstErr error
+	dc := newDatasetCache(opt)
+	dc.generateAll(opt.Workers)
 
-	forEachDataset(opt, func(data []ts.Series, _ []ts.Series) {
-		local := make([][]acc, len(methods))
-		for i := range local {
-			local[i] = make([]acc, len(opt.Ms))
+	// One work unit per stored series.
+	type unit struct{ di, si int }
+	var units []unit
+	for di := range opt.Datasets {
+		data, _ := dc.get(di)
+		for si := range data {
+			units = append(units, unit{di, si})
 		}
+	}
+	nm, nk := len(methods), len(opt.Ms)
+	slots := make([]acc, len(units)*nm*nk)
+	errs := make([]error, len(units))
+	runIndexed(len(units), opt.Workers, func(u int) {
+		data, _ := dc.get(units[u].di)
+		c := data[units[u].si]
+		base := u * nm * nk
 		for mi, meth := range methods {
 			for ki, m := range opt.Ms {
-				for _, c := range data {
-					startT := time.Now()
-					rep, err := meth.Reduce(c, m)
-					el := time.Since(startT)
-					if err != nil {
-						mu.Lock()
-						if firstErr == nil {
-							firstErr = err
-						}
-						mu.Unlock()
-						return
-					}
-					a := &local[mi][ki]
-					a.dev += ts.MaxDeviation(c, rep.Reconstruct())
-					a.segDev += SumSegMaxDev(c, rep)
-					a.elapsed += el
-					a.n++
+				startT := time.Now()
+				rep, err := meth.Reduce(c, m)
+				el := time.Since(startT)
+				if err != nil {
+					errs[u] = err
+					return
 				}
+				a := &slots[base+mi*nk+ki]
+				a.dev += ts.MaxDeviation(c, rep.Reconstruct())
+				a.segDev += SumSegMaxDev(c, rep)
+				a.elapsed += el
+				a.n++
 			}
 		}
-		mu.Lock()
-		for mi := range accs {
-			for ki := range accs[mi] {
-				accs[mi][ki].dev += local[mi][ki].dev
-				accs[mi][ki].segDev += local[mi][ki].segDev
-				accs[mi][ki].elapsed += local[mi][ki].elapsed
-				accs[mi][ki].n += local[mi][ki].n
-			}
-		}
-		mu.Unlock()
 	})
-	if firstErr != nil {
-		return nil, firstErr
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+
+	// Sequential fold in unit order.
+	accs := make([]acc, nm*nk)
+	for u := range units {
+		base := u * nm * nk
+		for j := range accs {
+			s := slots[base+j]
+			accs[j].dev += s.dev
+			accs[j].segDev += s.segDev
+			accs[j].elapsed += s.elapsed
+			accs[j].n += s.n
+		}
 	}
 
 	var rows []ReductionRow
 	for mi, meth := range methods {
 		for ki, m := range opt.Ms {
-			a := accs[mi][ki]
+			a := accs[mi*nk+ki]
 			if a.n == 0 {
 				continue
 			}
@@ -97,34 +101,4 @@ func ReductionExperiment(opt Options) ([]ReductionRow, error) {
 		}
 	}
 	return rows, nil
-}
-
-// forEachDataset generates each dataset and runs fn over it, with bounded
-// parallelism across datasets.
-func forEachDataset(opt Options, fn func(data, queries []ts.Series)) {
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for _, d := range opt.Datasets {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			insts, qinsts := d.Generate(opt.Cfg)
-			data := make([]ts.Series, len(insts))
-			for i := range insts {
-				data[i] = insts[i].Values
-			}
-			queries := make([]ts.Series, len(qinsts))
-			for i := range qinsts {
-				queries[i] = qinsts[i].Values
-			}
-			fn(data, queries)
-		}()
-	}
-	wg.Wait()
 }

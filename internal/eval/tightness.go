@@ -1,8 +1,6 @@
 package eval
 
 import (
-	"sync"
-
 	"sapla/internal/core"
 	"sapla/internal/dist"
 	"sapla/internal/repr"
@@ -23,7 +21,9 @@ type TightnessRow struct {
 
 // TightnessExperiment regenerates Figure 10's comparison of Dist_LB,
 // Dist_PAR and Dist_AE on SAPLA representations: for every dataset each
-// query is compared against every stored series.
+// query is compared against every stored series. Each dataset owns an
+// accumulator slot folded in order, so results are identical for any
+// Options.Workers.
 func TightnessExperiment(opt Options, m int) ([]TightnessRow, error) {
 	measures := []dist.AdaptiveMeasure{dist.MeasureLB, dist.MeasurePAR, dist.MeasureAE}
 	type acc struct {
@@ -31,25 +31,21 @@ func TightnessExperiment(opt Options, m int) ([]TightnessRow, error) {
 		violations int
 		pairs      int
 	}
-	accs := make([]acc, len(measures))
-	var mu sync.Mutex
-	var firstErr error
-	fail := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		mu.Unlock()
-	}
 
-	forEachDataset(opt, func(data, queries []ts.Series) {
+	dc := newDatasetCache(opt)
+	nd := len(opt.Datasets)
+	slots := make([]acc, nd*len(measures))
+	errs := make([]error, nd)
+
+	runIndexed(nd, opt.Workers, func(di int) {
+		data, queries := dc.get(di)
 		sapla := core.New()
-		local := make([]acc, len(measures))
+		local := slots[di*len(measures) : (di+1)*len(measures)]
 		reps := make([]repr.Representation, len(data))
 		for i, c := range data {
 			rep, err := sapla.Reduce(c, m)
 			if err != nil {
-				fail(err)
+				errs[di] = err
 				return
 			}
 			reps[i] = rep
@@ -57,7 +53,7 @@ func TightnessExperiment(opt Options, m int) ([]TightnessRow, error) {
 		for _, q := range queries {
 			qrep, err := sapla.Reduce(q, m)
 			if err != nil {
-				fail(err)
+				errs[di] = err
 				return
 			}
 			query := dist.NewQuery(q, qrep)
@@ -69,7 +65,7 @@ func TightnessExperiment(opt Options, m int) ([]TightnessRow, error) {
 				for mi, meas := range measures {
 					v, err := dist.Adaptive(meas, query, reps[i])
 					if err != nil {
-						fail(err)
+						errs[di] = err
 						return
 					}
 					local[mi].sum += v
@@ -81,17 +77,20 @@ func TightnessExperiment(opt Options, m int) ([]TightnessRow, error) {
 				}
 			}
 		}
-		mu.Lock()
-		for i := range accs {
-			accs[i].sum += local[i].sum
-			accs[i].ratio += local[i].ratio
-			accs[i].violations += local[i].violations
-			accs[i].pairs += local[i].pairs
-		}
-		mu.Unlock()
 	})
-	if firstErr != nil {
-		return nil, firstErr
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+
+	accs := make([]acc, len(measures))
+	for di := 0; di < nd; di++ {
+		for mi := range accs {
+			s := slots[di*len(measures)+mi]
+			accs[mi].sum += s.sum
+			accs[mi].ratio += s.ratio
+			accs[mi].violations += s.violations
+			accs[mi].pairs += s.pairs
+		}
 	}
 
 	rows := make([]TightnessRow, len(measures))

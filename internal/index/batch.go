@@ -1,0 +1,74 @@
+package index
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sapla/internal/dist"
+)
+
+// BatchKNN answers many k-NN queries over one index concurrently. Queries
+// are claimed from a shared atomic counter (work stealing, so skewed query
+// costs don't idle workers), each worker owns one reusable Workspace, and
+// every query writes its answers and statistics into its own output slot —
+// the results are therefore identical for any worker count. workers <= 0
+// means GOMAXPROCS. Searches only read the index, so any Index is safe to
+// share; indexes implementing WorkspaceSearcher are searched
+// allocation-free apart from the per-query result copy.
+//
+// The first error in query order aborts nothing already in flight but is
+// the one returned; out and stats stay valid for the queries that finished.
+func BatchKNN(idx Index, queries []dist.Query, k, workers int) ([][]Result, []SearchStats, error) {
+	out := make([][]Result, len(queries))
+	stats := make([]SearchStats, len(queries))
+	if len(queries) == 0 {
+		return out, stats, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+
+	errs := make([]error, len(queries))
+	ws, _ := idx.(WorkspaceSearcher)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			var scratch *Workspace
+			if ws != nil {
+				scratch = wsPool.Get().(*Workspace)
+				defer wsPool.Put(scratch)
+			}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				if ws != nil {
+					res, st, err := ws.KNNWith(scratch, queries[i], k)
+					if len(res) > 0 {
+						out[i] = make([]Result, len(res))
+						copy(out[i], res)
+					}
+					stats[i], errs[i] = st, err
+				} else {
+					out[i], stats[i], errs[i] = idx.KNN(queries[i], k)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return out, stats, err
+		}
+	}
+	return out, stats, nil
+}

@@ -1,0 +1,204 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sapla/internal/core"
+	"sapla/internal/dist"
+	"sapla/internal/ts"
+)
+
+// testQueries builds nq reduced queries against series of length n.
+func testQueries(t testing.TB, nq, n, m int) []dist.Query {
+	t.Helper()
+	rng := rand.New(rand.NewSource(77))
+	meth := core.New()
+	out := make([]dist.Query, nq)
+	for i := range out {
+		raw := randWalk(rng, n)
+		rep, err := meth.Reduce(raw, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = dist.NewQuery(raw, rep)
+	}
+	return out
+}
+
+// testIndexes builds every index flavour over the same entry set.
+func testIndexes(t testing.TB, entries []*Entry, n, m int) map[string]Index {
+	t.Helper()
+	rt, err := NewRTree("SAPLA", n, m, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewDBCH("SAPLA", 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := NewLinearScan()
+	idxs := map[string]Index{"rtree": rt, "dbch": db, "linear": ls}
+	for _, idx := range idxs {
+		for _, e := range entries {
+			if err := idx.Insert(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return idxs
+}
+
+// TestKNNWithMatchesKNN: the workspace search must return exactly what the
+// convenience KNN path returns, query after query on a reused workspace.
+func TestKNNWithMatchesKNN(t *testing.T) {
+	entries := benchEntries(t, 200, 128, 12)
+	queries := testQueries(t, 10, 128, 12)
+	for name, idx := range testIndexes(t, entries, 128, 12) {
+		ws := NewWorkspace()
+		s := idx.(WorkspaceSearcher)
+		for qi, q := range queries {
+			want, wantStats, err := idx.KNN(q, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, gotStats, err := s.KNNWith(ws, q, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotStats != wantStats {
+				t.Fatalf("%s q%d: stats %+v, want %+v", name, qi, gotStats, wantStats)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s q%d: %d results, want %d", name, qi, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s q%d result %d: %+v, want %+v", name, qi, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestLinearScanKNNExact: the heap-based scan must return the true k
+// smallest exact distances, in ascending order.
+func TestLinearScanKNNExact(t *testing.T) {
+	entries := benchEntries(t, 150, 128, 12)
+	queries := testQueries(t, 5, 128, 12)
+	ls := NewLinearScan()
+	for _, e := range entries {
+		if err := ls.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, q := range queries {
+		lin, _, err := ls.KNN(q, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]float64, 0, len(entries))
+		for _, e := range entries {
+			want = append(want, math.Sqrt(ts.EuclideanSq(q.Raw, e.Raw)))
+		}
+		sort.Float64s(want)
+		if len(lin) != 8 {
+			t.Fatalf("linear returned %d results, want 8", len(lin))
+		}
+		for i := range lin {
+			if lin[i].Dist != want[i] {
+				t.Fatalf("result %d: dist %v, want %v", i, lin[i].Dist, want[i])
+			}
+		}
+	}
+}
+
+// TestBatchKNNDeterministic: BatchKNN answers must be identical for any
+// worker count (satellite of the parallel-query tentpole).
+func TestBatchKNNDeterministic(t *testing.T) {
+	entries := benchEntries(t, 200, 128, 12)
+	queries := testQueries(t, 16, 128, 12)
+	for name, idx := range testIndexes(t, entries, 128, 12) {
+		base, baseStats, err := BatchKNN(idx, queries, 8, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(base) != len(queries) || len(baseStats) != len(queries) {
+			t.Fatalf("%s: output length mismatch", name)
+		}
+		for _, workers := range []int{2, 4, 7} {
+			got, gotStats, err := BatchKNN(idx, queries, 8, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for qi := range queries {
+				if gotStats[qi] != baseStats[qi] {
+					t.Fatalf("%s workers=%d q%d: stats diverge", name, workers, qi)
+				}
+				if len(got[qi]) != len(base[qi]) {
+					t.Fatalf("%s workers=%d q%d: result count diverges", name, workers, qi)
+				}
+				for i := range got[qi] {
+					if got[qi][i] != base[qi][i] {
+						t.Fatalf("%s workers=%d q%d result %d diverges", name, workers, qi, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchKNNMatchesSerialKNN: each batch slot must equal the plain
+// one-query API's answer.
+func TestBatchKNNMatchesSerialKNN(t *testing.T) {
+	entries := benchEntries(t, 200, 128, 12)
+	queries := testQueries(t, 8, 128, 12)
+	idxs := testIndexes(t, entries, 128, 12)
+	for name, idx := range idxs {
+		batch, _, err := BatchKNN(idx, queries, 8, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi, q := range queries {
+			want, _, err := idx.KNN(q, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(batch[qi]) != len(want) {
+				t.Fatalf("%s q%d: batch %d results, serial %d", name, qi, len(batch[qi]), len(want))
+			}
+			for i := range want {
+				if batch[qi][i] != want[i] {
+					t.Fatalf("%s q%d result %d: batch %+v, serial %+v", name, qi, i, batch[qi][i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchKNNEdgeCases covers empty query sets and k=0.
+func TestBatchKNNEdgeCases(t *testing.T) {
+	entries := benchEntries(t, 50, 64, 12)
+	idx := NewLinearScan()
+	for _, e := range entries {
+		if err := idx.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, stats, err := BatchKNN(idx, nil, 8, 4)
+	if err != nil || len(out) != 0 || len(stats) != 0 {
+		t.Fatalf("empty batch: out=%d stats=%d err=%v", len(out), len(stats), err)
+	}
+	queries := testQueries(t, 3, 64, 12)
+	out, _, err = BatchKNN(idx, queries, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range out {
+		if len(out[qi]) != 0 {
+			t.Fatalf("k=0 query %d returned %d results", qi, len(out[qi]))
+		}
+	}
+}

@@ -8,7 +8,7 @@ import (
 	"sapla/internal/dist"
 )
 
-func benchEntries(b *testing.B, count, n, m int) []*Entry {
+func benchEntries(b testing.TB, count, n, m int) []*Entry {
 	b.Helper()
 	rng := rand.New(rand.NewSource(1))
 	meth := core.New()
@@ -89,4 +89,62 @@ func BenchmarkDBCHKNN(b *testing.B) {
 
 func BenchmarkLinearScanKNN(b *testing.B) {
 	benchKNN(b, NewLinearScan(), benchEntries(b, 500, 128, 12))
+}
+
+// BenchmarkKNN is the benchdiff-tracked hot path: one DBCH k-NN search on a
+// warmed workspace must perform zero heap allocations.
+func BenchmarkKNN(b *testing.B) {
+	tree, err := NewDBCH("SAPLA", 2, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	entries := benchEntries(b, 500, 128, 12)
+	for _, e := range entries {
+		if err := tree.Insert(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	query := testQueries(b, 1, 128, 12)[0]
+	ws := NewWorkspace()
+	if _, _, err := tree.KNNWith(ws, query, 8); err != nil { // warm-up
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tree.KNNWith(ws, query, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchKNN compares the batch engine across worker counts. On a
+// multi-core host the Workers=GOMAXPROCS case demonstrates the parallel
+// speedup; per-answer copies are the only steady-state allocations.
+func BenchmarkBatchKNN(b *testing.B) {
+	tree, err := NewDBCH("SAPLA", 2, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	entries := benchEntries(b, 500, 128, 12)
+	for _, e := range entries {
+		if err := tree.Insert(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	queries := testQueries(b, 32, 128, 12)
+	for _, workers := range []int{1, 0} { // 0 = GOMAXPROCS
+		name := "serial"
+		if workers == 0 {
+			name = "gomaxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := BatchKNN(tree, queries, 8, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -319,14 +319,11 @@ func (t *DBCH) rebuildInternalHull(nd *dnode) {
 // IsLeaf implements treeNode.
 func (n *dnode) IsLeaf() bool { return n.isLeaf }
 
-// Children implements treeNode.
-func (n *dnode) Children() []treeNode {
-	out := make([]treeNode, len(n.children))
-	for i, c := range n.children {
-		out[i] = c
-	}
-	return out
-}
+// NumChildren implements treeNode.
+func (n *dnode) NumChildren() int { return len(n.children) }
+
+// Child implements treeNode.
+func (n *dnode) Child(i int) treeNode { return n.children[i] }
 
 // Entries implements treeNode.
 func (n *dnode) Entries() []*Entry { return n.entries }
@@ -350,13 +347,22 @@ func (t *DBCH) bound(nd *dnode, q dist.Query) float64 {
 	return math.Min(du, dl)
 }
 
+// boundOf implements searcher.
+func (t *DBCH) boundOf(q dist.Query, nd treeNode) float64 {
+	return t.bound(nd.(*dnode), q)
+}
+
 // KNN implements Index.
 func (t *DBCH) KNN(q dist.Query, k int) ([]Result, SearchStats, error) {
+	return pooledKNN(t, q, k)
+}
+
+// KNNWith implements WorkspaceSearcher.
+func (t *DBCH) KNNWith(ws *Workspace, q dist.Query, k int) ([]Result, SearchStats, error) {
 	if t.root == nil {
 		return nil, SearchStats{}, nil
 	}
-	bound := func(nd treeNode) float64 { return t.bound(nd.(*dnode), q) }
-	return knnSearch(t.root, bound, q, k, t.filter)
+	return knnSearch(ws, t, t.root, q, k, t.filter)
 }
 
 // Stats implements the tree-shape reporting of Figures 15–16.

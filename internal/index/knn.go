@@ -2,19 +2,28 @@ package index
 
 import (
 	"math"
-	"sort"
 
 	"sapla/internal/dist"
-	"sapla/internal/pqueue"
 	"sapla/internal/ts"
 )
 
 // treeNode is the traversal surface both trees expose to the shared GEMINI
-// best-first k-NN search.
+// best-first k-NN search. Children are addressed by index rather than
+// returned as a slice so traversal never materialises a copy of the child
+// list — the k-NN and range searches visit thousands of nodes per query and
+// must not allocate while doing so.
 type treeNode interface {
 	IsLeaf() bool
-	Children() []treeNode
+	NumChildren() int
+	Child(i int) treeNode
 	Entries() []*Entry
+}
+
+// searcher is the tree side of the shared k-NN search: a query-to-node lower
+// bound. It is an interface method rather than a closure so each KNN call
+// does not allocate a bound capture.
+type searcher interface {
+	boundOf(q dist.Query, nd treeNode) float64
 }
 
 // knnSearch is the GEMINI branch-and-bound k-NN: nodes are visited in
@@ -22,28 +31,32 @@ type treeNode interface {
 // representation-space distance, and only entries whose filter distance
 // beats the current k-th best are fetched for an exact Euclidean distance
 // (those fetches are the paper's "time series which have to be measured").
-func knnSearch(root treeNode, bound func(treeNode) float64, q dist.Query, k int,
+// All scratch state lives in ws; the returned slice aliases ws and stays
+// valid until its next use.
+func knnSearch(ws *Workspace, s searcher, root treeNode, q dist.Query, k int,
 	filter dist.FilterFunc) ([]Result, SearchStats, error) {
 
 	var stats SearchStats
 	if root == nil || k <= 0 {
 		return nil, stats, nil
 	}
-	nodes := pqueue.NewMin[treeNode]()
+	nodes := ws.nodes
+	nodes.Reset()
 	nodes.Push(0, root)
-	best := pqueue.NewMax[*Entry]() // k current best, worst on top
+	best := ws.best // k current best, worst on top
+	best.Reset()
 	kth := math.Inf(1)
 
 	for nodes.Len() > 0 {
-		it := nodes.Pop()
-		if it.Priority > kth {
+		prio, nd := nodes.Pop()
+		if prio > kth {
 			break // every remaining node is at least this far
 		}
-		nd := it.Value
 		stats.NodesVisited++
 		if !nd.IsLeaf() {
-			for _, ch := range nd.Children() {
-				if b := bound(ch); b <= kth {
+			for i, nc := 0, nd.NumChildren(); i < nc; i++ {
+				ch := nd.Child(i)
+				if b := s.boundOf(q, ch); b <= kth {
 					nodes.Push(b, ch)
 				}
 			}
@@ -62,26 +75,16 @@ func knnSearch(root treeNode, bound func(treeNode) float64, q dist.Query, k int,
 			exact := math.Sqrt(ts.EuclideanSq(q.Raw, e.Raw))
 			if best.Len() < k {
 				best.Push(exact, e)
-			} else if exact < best.Peek().Priority {
+			} else if exact < best.PeekPriority() {
 				best.Pop()
 				best.Push(exact, e)
 			}
 			if best.Len() == k {
-				kth = best.Peek().Priority
+				kth = best.PeekPriority()
 			}
 		}
 	}
-	return drainResults(best), stats, nil
-}
-
-// drainResults empties the best-heap into ascending order.
-func drainResults(best *pqueue.Queue[*Entry]) []Result {
-	out := make([]Result, best.Len())
-	for i := len(out) - 1; i >= 0; i-- {
-		it := best.Pop()
-		out[i] = Result{Entry: it.Value, Dist: it.Priority}
-	}
-	return out
+	return ws.drainResults(), stats, nil
 }
 
 // LinearScan is the exact baseline: every query measures every series.
@@ -103,14 +106,32 @@ func (s *LinearScan) Len() int { return len(s.entries) }
 
 // KNN implements Index by exact exhaustive search.
 func (s *LinearScan) KNN(q dist.Query, k int) ([]Result, SearchStats, error) {
+	return pooledKNN(s, q, k)
+}
+
+// KNNWith implements WorkspaceSearcher: exhaustive search through a
+// k-bounded heap, so a scan over n entries costs O(n log k) and zero
+// allocations instead of the sort-everything O(n log n).
+func (s *LinearScan) KNNWith(ws *Workspace, q dist.Query, k int) ([]Result, SearchStats, error) {
 	stats := SearchStats{Measured: len(s.entries)}
-	res := make([]Result, 0, len(s.entries))
+	if k <= 0 {
+		return nil, stats, nil
+	}
+	best := ws.best
+	best.Reset()
+	kth := math.Inf(1)
 	for _, e := range s.entries {
-		res = append(res, Result{Entry: e, Dist: math.Sqrt(ts.EuclideanSq(q.Raw, e.Raw))})
+		d := math.Sqrt(ts.EuclideanSq(q.Raw, e.Raw))
+		if best.Len() < k {
+			best.Push(d, e)
+			if best.Len() == k {
+				kth = best.PeekPriority()
+			}
+		} else if d < kth {
+			best.Pop()
+			best.Push(d, e)
+			kth = best.PeekPriority()
+		}
 	}
-	sort.Slice(res, func(i, j int) bool { return res[i].Dist < res[j].Dist })
-	if k < len(res) {
-		res = res[:k]
-	}
-	return res, stats, nil
+	return ws.drainResults(), stats, nil
 }

@@ -32,8 +32,8 @@ func rangeSearch(root treeNode, bound func(treeNode) float64, q dist.Query,
 		stack = stack[:len(stack)-1]
 		stats.NodesVisited++
 		if !nd.IsLeaf() {
-			for _, ch := range nd.Children() {
-				if bound(ch) <= radius {
+			for i, nc := 0, nd.NumChildren(); i < nc; i++ {
+				if ch := nd.Child(i); bound(ch) <= radius {
 					stack = append(stack, ch)
 				}
 			}

@@ -202,27 +202,31 @@ func quadraticSplit[T any](items []T, rectOf func(T) Rect, minFill int) (g1, g2 
 // IsLeaf implements treeNode.
 func (n *rnode) IsLeaf() bool { return n.isLeaf }
 
-// Children implements treeNode.
-func (n *rnode) Children() []treeNode {
-	out := make([]treeNode, len(n.children))
-	for i, c := range n.children {
-		out[i] = c
-	}
-	return out
-}
+// NumChildren implements treeNode.
+func (n *rnode) NumChildren() int { return len(n.children) }
+
+// Child implements treeNode.
+func (n *rnode) Child(i int) treeNode { return n.children[i] }
 
 // Entries implements treeNode.
 func (n *rnode) Entries() []*Entry { return n.entries }
 
+// boundOf implements searcher: the MBR lower bound of the node.
+func (t *RTree) boundOf(q dist.Query, nd treeNode) float64 {
+	return t.nodeDist(q, nd.(*rnode).rect)
+}
+
 // KNN implements Index.
 func (t *RTree) KNN(q dist.Query, k int) ([]Result, SearchStats, error) {
+	return pooledKNN(t, q, k)
+}
+
+// KNNWith implements WorkspaceSearcher.
+func (t *RTree) KNNWith(ws *Workspace, q dist.Query, k int) ([]Result, SearchStats, error) {
 	if t.root == nil {
 		return nil, SearchStats{}, nil
 	}
-	bound := func(nd treeNode) float64 {
-		return t.nodeDist(q, nd.(*rnode).rect)
-	}
-	return knnSearch(t.root, bound, q, k, t.filter)
+	return knnSearch(ws, t, t.root, q, k, t.filter)
 }
 
 // Stats implements the tree-shape reporting of Figures 15–16.

@@ -1,0 +1,68 @@
+package index
+
+import (
+	"sync"
+
+	"sapla/internal/dist"
+	"sapla/internal/pqueue"
+)
+
+// Workspace holds the scratch state of one k-NN search: the best-first node
+// frontier, the k-bounded result heap, and the result buffer the answers are
+// drained into. Reusing one across queries makes the steady-state search
+// allocation-free. Not safe for concurrent use: one per goroutine.
+type Workspace struct {
+	nodes   *pqueue.Heap[treeNode]
+	best    *pqueue.Heap[*Entry]
+	results []Result
+}
+
+// NewWorkspace returns an empty search workspace.
+func NewWorkspace() *Workspace {
+	return &Workspace{
+		nodes: pqueue.NewMinHeap[treeNode](),
+		best:  pqueue.NewMaxHeap[*Entry](),
+	}
+}
+
+// drainResults empties the best-heap into the reused result buffer in
+// ascending distance order. The returned slice aliases the workspace.
+func (ws *Workspace) drainResults() []Result {
+	n := ws.best.Len()
+	if cap(ws.results) < n {
+		ws.results = make([]Result, n)
+	}
+	ws.results = ws.results[:n]
+	for i := n - 1; i >= 0; i-- {
+		d, e := ws.best.Pop()
+		ws.results[i] = Result{Entry: e, Dist: d}
+	}
+	return ws.results
+}
+
+// WorkspaceSearcher is implemented by indexes whose k-NN search can run on a
+// caller-supplied Workspace. The returned slice aliases the workspace and
+// stays valid only until the workspace's next search.
+type WorkspaceSearcher interface {
+	Index
+	KNNWith(ws *Workspace, q dist.Query, k int) ([]Result, SearchStats, error)
+}
+
+// wsPool backs the plain Index.KNN entry points: they borrow a workspace,
+// search, and copy the answers out, so even the convenience path allocates
+// only its returned slice.
+var wsPool = sync.Pool{New: func() any { return NewWorkspace() }}
+
+// pooledKNN runs a workspace search on a pooled workspace and returns a
+// caller-owned copy of the results.
+func pooledKNN(s WorkspaceSearcher, q dist.Query, k int) ([]Result, SearchStats, error) {
+	ws := wsPool.Get().(*Workspace)
+	res, stats, err := s.KNNWith(ws, q, k)
+	var out []Result
+	if len(res) > 0 {
+		out = make([]Result, len(res))
+		copy(out, res)
+	}
+	wsPool.Put(ws)
+	return out, stats, err
+}

@@ -19,19 +19,29 @@ type Prefix struct {
 
 // NewPrefix builds prefix sums over s in O(n).
 func NewPrefix(s Series) *Prefix {
+	p := &Prefix{}
+	p.Reset(s)
+	return p
+}
+
+// Reset rebuilds the prefix sums over s, reusing the existing buffers when
+// they are large enough. It makes a long-lived Prefix allocation-free across
+// series of non-growing length.
+func (p *Prefix) Reset(s Series) {
 	n := len(s)
-	p := &Prefix{
-		n:  n,
-		c:  make([]float64, n+1),
-		tc: make([]float64, n+1),
-		cc: make([]float64, n+1),
+	p.n = n
+	if cap(p.c) < n+1 {
+		p.c = make([]float64, n+1)
+		p.tc = make([]float64, n+1)
+		p.cc = make([]float64, n+1)
 	}
+	p.c, p.tc, p.cc = p.c[:n+1], p.tc[:n+1], p.cc[:n+1]
+	p.c[0], p.tc[0], p.cc[0] = 0, 0, 0
 	for i, v := range s {
 		p.c[i+1] = p.c[i] + v
 		p.tc[i+1] = p.tc[i] + float64(i)*v
 		p.cc[i+1] = p.cc[i] + v*v
 	}
-	return p
 }
 
 // Len returns the length of the underlying series.

@@ -93,6 +93,44 @@ func NewOnlineSAPLA(m int) (*OnlineSAPLA, error) {
 	return core.NewOnline(m/3, core.SAPLA{})
 }
 
+// Reducer is a reusable SAPLA reduction workspace: after the first call it
+// reduces series without heap allocations (prefix sums, segment buffers and
+// priority queues are all recycled). Not safe for concurrent use — use one
+// per goroutine, or the plain SAPLA().Reduce, which draws from an internal
+// pool.
+type Reducer = core.Reducer
+
+// NewReducer returns a reusable reduction workspace with the default SAPLA
+// configuration.
+func NewReducer() *Reducer { return core.NewReducer() }
+
+// DistWorkspace is a reusable scratch area for the distance hot paths:
+// query prefix sums and the PairwisePAR batch matrix. Not safe for
+// concurrent use.
+type DistWorkspace = dist.Workspace
+
+// NewDistWorkspace returns an empty distance workspace.
+func NewDistWorkspace() *DistWorkspace { return dist.NewWorkspace() }
+
+// SearchWorkspace holds one k-NN search's reusable scratch state (node
+// frontier, result heap, result buffer). Pass it to an index's KNNWith for
+// allocation-free steady-state search. Not safe for concurrent use.
+type SearchWorkspace = index.Workspace
+
+// NewSearchWorkspace returns an empty search workspace.
+func NewSearchWorkspace() *SearchWorkspace { return index.NewWorkspace() }
+
+// WorkspaceSearcher is implemented by every index in this package: k-NN
+// search on a caller-supplied workspace.
+type WorkspaceSearcher = index.WorkspaceSearcher
+
+// BatchKNN answers many k-NN queries over one index concurrently on a
+// work-stealing worker pool with per-worker reusable workspaces. Results
+// are identical for any worker count; workers <= 0 means GOMAXPROCS.
+func BatchKNN(idx Index, queries []Query, k, workers int) ([][]Result, []SearchStats, error) {
+	return index.BatchKNN(idx, queries, k, workers)
+}
+
 // Baseline method constructors (paper Table 1).
 var (
 	// APLA is the optimal-but-slow adaptive linear DP baseline, O(Nn²).
