@@ -1,10 +1,15 @@
 # Standard workflows for the sapla reproduction.
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: all build test race race-short cover bench benchdiff vet fuzz experiments report clean
+.PHONY: all ci build test race race-short cover bench benchdiff vet fmtcheck fuzz experiments report clean
 
 all: build vet test race-short
+
+# ci mirrors .github/workflows/ci.yml step for step: the workflow shells out
+# to exactly these targets, so what passes here passes there.
+ci: build vet fmtcheck test race-short
 
 build:
 	$(GO) build ./...
@@ -12,16 +17,24 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Fail if any file needs gofmt.
+fmtcheck:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-# Race-check the two packages that run concurrent hot paths (the experiment
-# pool and the batch query engine) without paying for a full -race sweep.
+# Race-check the packages that run concurrent hot paths (the experiment
+# pool, the batch query engine / concurrent index, and the HTTP service)
+# without paying for a full -race sweep.
 race-short:
-	$(GO) test -race ./internal/eval ./internal/index
+	$(GO) test -race ./internal/eval ./internal/index ./internal/server
 
 cover:
 	$(GO) test -cover ./...
@@ -34,12 +47,12 @@ bench:
 benchdiff:
 	$(GO) run ./cmd/sapla-bench
 
-# Short fuzzing bursts over every fuzz target.
+# Short fuzzing bursts over every fuzz target. Targets are discovered with
+# `go test -list`, so the list cannot drift when targets are added or
+# renamed; zero matches fails loudly. Override the per-target budget with
+# FUZZTIME=10s.
 fuzz:
-	$(GO) test -fuzz=FuzzReadSeries -fuzztime=30s ./internal/tsio/
-	$(GO) test -fuzz=FuzzDecodeRepresentation -fuzztime=30s ./internal/tsio/
-	$(GO) test -fuzz=FuzzReduce -fuzztime=30s ./internal/core/
-	$(GO) test -fuzz=FuzzReducerReuse -fuzztime=30s ./internal/core/
+	GO="$(GO)" sh scripts/fuzz.sh $(FUZZTIME)
 
 # Regenerate every paper table/figure at the default reduced scale.
 experiments:

@@ -1,0 +1,94 @@
+// Command sapla-serve runs the similarity-search service: a long-running
+// HTTP server that ingests raw series (reduced under the configured method
+// and inserted into a concurrent DBCH-tree) while answering k-NN, batch
+// k-NN and ε-range queries.
+//
+// Endpoints:
+//
+//	POST   /v1/ingest        {"values":[...], "id":7?}          -> store a series
+//	POST   /v1/knn           {"values":[...], "k":5}            -> k nearest neighbours
+//	POST   /v1/knn/batch     {"k":5, "queries":[{"values":..}]} -> many queries, one pool
+//	POST   /v1/range         {"values":[...], "radius":4.2}     -> ε-range query
+//	DELETE /v1/series/{id}                                      -> remove a series
+//	GET    /healthz                                             -> liveness
+//	GET    /metrics                                             -> counters, latency histograms
+//	GET    /debug/pprof/                                        -> runtime profiles
+//
+// The process exits cleanly on SIGINT/SIGTERM after draining in-flight
+// requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sapla/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		method   = flag.String("method", "SAPLA", "reduction method (SAPLA, APLA, APCA, PLA, PAA, PAALM, CHEBY, SAX)")
+		m        = flag.Int("m", 12, "coefficient budget per series")
+		workers  = flag.Int("workers", 0, "batch k-NN workers (0 = GOMAXPROCS)")
+		maxK     = flag.Int("max-k", 128, "largest k accepted per query")
+		maxBatch = flag.Int("max-batch", 256, "largest query count per batch request")
+		maxBody  = flag.Int64("max-body", 8<<20, "request body size limit in bytes")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		grace    = flag.Duration("grace", 15*time.Second, "shutdown drain budget")
+		unsafeB  = flag.Bool("paper-bound", false, "use the paper's Section 5.3 node bound instead of the triangle-safe one (may dismiss true neighbours)")
+	)
+	flag.Parse()
+
+	safe := !*unsafeB
+	srv, err := server.New(server.Config{
+		Method:         *method,
+		M:              *m,
+		SafeBound:      &safe,
+		Workers:        *workers,
+		MaxK:           *maxK,
+		MaxBatch:       *maxBatch,
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *timeout,
+	})
+	if err != nil {
+		log.Fatalf("sapla-serve: %v", err)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("sapla-serve: %v", err)
+	}
+	log.Printf("sapla-serve: listening on %s (method=%s m=%d workers=%d)",
+		l.Addr(), *method, *m, *workers)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("sapla-serve: %v", err)
+		}
+	case <-ctx.Done():
+		log.Printf("sapla-serve: signal received, draining for up to %s", *grace)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("sapla-serve: shutdown: %v", err)
+		}
+		<-done
+	}
+	log.Print("sapla-serve: stopped")
+}

@@ -1,0 +1,126 @@
+package index
+
+import (
+	"sync"
+
+	"sapla/internal/dist"
+)
+
+// Deleter is implemented by indexes that can remove an entry by ID (both
+// trees; the linear scan does not condense, so it opts out).
+type Deleter interface {
+	Delete(id int) bool
+}
+
+// ConcurrentIndex makes any Index safe for concurrent readers and writers.
+// Mutations (Insert, Delete) run under an exclusive lock; searches run under
+// a shared lock held for the whole traversal, so an in-flight KNNWith can
+// never observe a mid-split node. Every mutation advances an epoch counter
+// read under the same lock as the search it stamps, which gives callers a
+// consistency token: two observations with equal epochs saw the identical
+// tree.
+//
+// Reads scale across cores (RWMutex shared mode); writes serialize, which
+// matches the DBCH-tree's single-writer structure. BatchKNN over a
+// ConcurrentIndex takes the shared lock per query, so a batch interleaved
+// with writers sees a consistent snapshot per query, not per batch.
+type ConcurrentIndex struct {
+	mu    sync.RWMutex
+	inner Index
+	epoch uint64 // guarded by mu; bumped on every successful mutation
+}
+
+// NewConcurrent wraps inner for concurrent use. The caller must stop using
+// inner directly: every access has to go through the wrapper's lock.
+func NewConcurrent(inner Index) *ConcurrentIndex {
+	return &ConcurrentIndex{inner: inner}
+}
+
+// Insert implements Index under the exclusive lock.
+func (c *ConcurrentIndex) Insert(e *Entry) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.inner.Insert(e); err != nil {
+		return err
+	}
+	c.epoch++
+	return nil
+}
+
+// Delete removes the entry with the given ID under the exclusive lock. It
+// returns false when the ID is absent or the wrapped index cannot delete.
+func (c *ConcurrentIndex) Delete(id int) bool {
+	d, ok := c.inner.(Deleter)
+	if !ok {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !d.Delete(id) {
+		return false
+	}
+	c.epoch++
+	return true
+}
+
+// Len implements Index.
+func (c *ConcurrentIndex) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.inner.Len()
+}
+
+// Epoch returns the current mutation epoch.
+func (c *ConcurrentIndex) Epoch() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.epoch
+}
+
+// KNN implements Index; the whole search holds the shared lock.
+func (c *ConcurrentIndex) KNN(q dist.Query, k int) ([]Result, SearchStats, error) {
+	return pooledKNN(c, q, k)
+}
+
+// KNNWith implements WorkspaceSearcher; the whole search holds the shared
+// lock, so the returned results correspond to one consistent tree snapshot.
+func (c *ConcurrentIndex) KNNWith(ws *Workspace, q dist.Query, k int) ([]Result, SearchStats, error) {
+	res, stats, _, err := c.KNNSnapshot(ws, q, k)
+	return res, stats, err
+}
+
+// KNNSnapshot is KNNWith plus the epoch the answers correspond to: the
+// epoch is read under the same shared lock as the search, so it identifies
+// exactly the tree version that produced the results.
+func (c *ConcurrentIndex) KNNSnapshot(ws *Workspace, q dist.Query, k int) ([]Result, SearchStats, uint64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	epoch := c.epoch
+	if s, ok := c.inner.(WorkspaceSearcher); ok {
+		res, stats, err := s.KNNWith(ws, q, k)
+		return res, stats, epoch, err
+	}
+	res, stats, err := c.inner.KNN(q, k)
+	return res, stats, epoch, err
+}
+
+// Range implements RangeSearcher when the wrapped index does; otherwise it
+// returns empty results.
+func (c *ConcurrentIndex) Range(q dist.Query, radius float64) ([]Result, SearchStats, error) {
+	r, ok := c.inner.(RangeSearcher)
+	if !ok {
+		return nil, SearchStats{}, nil
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return r.Range(q, radius)
+}
+
+// View runs f with the wrapped index under the shared lock — for read-only
+// inspection (Stats, diagnostics) that needs the concrete type. f must not
+// mutate the index or retain it past the call.
+func (c *ConcurrentIndex) View(f func(Index)) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	f(c.inner)
+}

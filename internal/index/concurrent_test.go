@@ -1,0 +1,261 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sapla/internal/dist"
+	"sapla/internal/ts"
+)
+
+func newConcurrentDBCH(t *testing.T) *ConcurrentIndex {
+	t.Helper()
+	tree, err := NewDBCH("SAPLA", 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.SafeBound = true
+	return NewConcurrent(tree)
+}
+
+func TestConcurrentIndexBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	meth := buildMethod(t, "SAPLA")
+	entries := makeEntries(t, meth, rng, 30, 128, 12)
+	ci := newConcurrentDBCH(t)
+	for _, e := range entries {
+		if err := ci.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ci.Len() != 30 {
+		t.Fatalf("Len = %d, want 30", ci.Len())
+	}
+	if ci.Epoch() != 30 {
+		t.Fatalf("Epoch = %d, want 30 after 30 inserts", ci.Epoch())
+	}
+
+	q := dist.NewQuery(entries[0].Raw, entries[0].Rep)
+	res, _, err := ci.KNN(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 || res[0].Entry.ID != entries[0].ID {
+		t.Fatalf("self-query: got %d results, top id %v", len(res), res[0].Entry.ID)
+	}
+
+	rres, _, err := ci.Range(q, res[2].Dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rres) < 3 {
+		t.Fatalf("range with radius of 3rd NN returned %d results", len(rres))
+	}
+
+	if !ci.Delete(entries[0].ID) {
+		t.Fatal("Delete of present id returned false")
+	}
+	if ci.Delete(entries[0].ID) {
+		t.Fatal("Delete of absent id returned true")
+	}
+	if ci.Len() != 29 {
+		t.Fatalf("Len after delete = %d, want 29", ci.Len())
+	}
+
+	var statsLen int
+	ci.View(func(idx Index) { statsLen = idx.Len() })
+	if statsLen != 29 {
+		t.Fatalf("View saw Len %d, want 29", statsLen)
+	}
+}
+
+func TestConcurrentIndexDeleteOnNonDeleter(t *testing.T) {
+	ci := NewConcurrent(NewLinearScan())
+	if err := ci.Insert(NewEntry(1, ts.Series{1, 2, 3}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if ci.Delete(1) {
+		t.Fatal("Delete on linear scan should report false")
+	}
+	if ci.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", ci.Len())
+	}
+}
+
+// TestConcurrentIndexStress interleaves Insert/Delete/KNN/BatchKNN under the
+// race detector and asserts every k-NN answer corresponds to SOME consistent
+// snapshot of the index:
+//
+//   - a fixed "core" set of entries is never deleted, so a query for
+//     k >= core+churn must always return every core ID;
+//   - every returned distance must equal the exact Euclidean distance
+//     recomputed from the entry it names, and results must be sorted;
+//   - the epoch stamped on the search must not move backwards between
+//     consecutive reads on one goroutine (snapshots are monotonic).
+//
+// Torn reads (a search observing a mid-split node) would either trip the
+// race detector, panic, or drop a core entry from the answer set.
+func TestConcurrentIndexStress(t *testing.T) {
+	const (
+		n     = 64 // series length
+		m     = 12 // coefficient budget
+		coreN = 24
+		chrnN = 16
+	)
+	rng := rand.New(rand.NewSource(99))
+	meth := buildMethod(t, "SAPLA")
+
+	core := makeEntries(t, meth, rng, coreN, n, m)
+	churn := make([]*Entry, chrnN)
+	for i := range churn {
+		raw := randWalk(rng, n)
+		rep, err := meth.Reduce(raw, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		churn[i] = NewEntry(1000+i, raw, rep)
+	}
+
+	ci := newConcurrentDBCH(t)
+	for _, e := range core {
+		if err := ci.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	queries := make([]dist.Query, 8)
+	for i := range queries {
+		raw := randWalk(rng, n)
+		rep, err := meth.Reduce(raw, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries[i] = dist.NewQuery(raw, rep)
+	}
+
+	dur := 800 * time.Millisecond
+	if testing.Short() {
+		dur = 150 * time.Millisecond
+	}
+	deadline := time.Now().Add(dur)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Writers: each owns a disjoint slice of churn entries and cycles
+	// insert -> delete so no ID is ever double-inserted.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(mine []*Entry) {
+			defer wg.Done()
+			for !stop.Load() {
+				for _, e := range mine {
+					if err := ci.Insert(e); err != nil {
+						t.Errorf("insert: %v", err)
+						return
+					}
+				}
+				for _, e := range mine {
+					if !ci.Delete(e.ID) {
+						t.Errorf("delete %d: not found", e.ID)
+						return
+					}
+				}
+			}
+		}(churn[w*chrnN/2 : (w+1)*chrnN/2])
+	}
+
+	checkResults := func(res []Result) {
+		seen := make(map[int]bool, len(res))
+		prev := math.Inf(-1)
+		for _, r := range res {
+			if r.Dist < prev {
+				t.Errorf("results not sorted: %g after %g", r.Dist, prev)
+				return
+			}
+			prev = r.Dist
+			if seen[r.Entry.ID] {
+				t.Errorf("duplicate id %d in results", r.Entry.ID)
+				return
+			}
+			seen[r.Entry.ID] = true
+		}
+	}
+	// checkSnapshot additionally verifies that a k >= everything query holds
+	// the complete never-deleted core set and exact recomputed distances.
+	checkSnapshot := func(q dist.Query, res []Result) {
+		checkResults(res)
+		if len(res) < coreN {
+			t.Errorf("k-NN returned %d results, fewer than the %d core entries", len(res), coreN)
+			return
+		}
+		got := make(map[int]bool, len(res))
+		for _, r := range res {
+			got[r.Entry.ID] = true
+			exact := math.Sqrt(ts.EuclideanSq(q.Raw, r.Entry.Raw))
+			if math.Abs(exact-r.Dist) > 1e-9 {
+				t.Errorf("id %d: reported dist %g, exact %g (torn read?)", r.Entry.ID, r.Dist, exact)
+				return
+			}
+		}
+		for _, e := range core {
+			if !got[e.ID] {
+				t.Errorf("core id %d missing from full k-NN (inconsistent snapshot)", e.ID)
+				return
+			}
+		}
+	}
+
+	// Readers: single-query KNNSnapshot path with monotone epochs.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(q dist.Query) {
+			defer wg.Done()
+			ws := NewWorkspace()
+			var lastEpoch uint64
+			for !stop.Load() {
+				res, _, epoch, err := ci.KNNSnapshot(ws, q, coreN+chrnN)
+				if err != nil {
+					t.Errorf("knn: %v", err)
+					return
+				}
+				if epoch < lastEpoch {
+					t.Errorf("epoch moved backwards: %d -> %d", lastEpoch, epoch)
+					return
+				}
+				lastEpoch = epoch
+				checkSnapshot(q, res)
+			}
+		}(queries[r])
+	}
+
+	// Batch reader: the BatchKNN pool over the shared index.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			out, _, err := BatchKNN(ci, queries, coreN+chrnN, 4)
+			if err != nil {
+				t.Errorf("batch knn: %v", err)
+				return
+			}
+			for i, res := range out {
+				checkSnapshot(queries[i], res)
+			}
+		}
+	}()
+
+	for time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	// After the dust settles only the core set remains.
+	if got := ci.Len(); got != coreN {
+		t.Fatalf("final Len = %d, want %d", got, coreN)
+	}
+}

@@ -1,0 +1,391 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"sapla/internal/core"
+	"sapla/internal/dist"
+	"sapla/internal/index"
+	"sapla/internal/repr"
+	"sapla/internal/ts"
+	"sapla/internal/tsio"
+)
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// writeJSON writes v with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeErr writes a JSON error body.
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody decodes the request body into v, translating size-limit and
+// syntax failures into client errors. It reports whether decoding succeeded.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return false
+	}
+	return true
+}
+
+// reduce runs the configured reduction. SAPLA goes through the pooled
+// allocation-free Reducer; baseline methods get a fresh instance (their
+// constructors are cheap and their scratch state is not goroutine-safe).
+func (s *Server) reduce(values ts.Series) (repr.Representation, error) {
+	if s.cfg.Method == "SAPLA" {
+		red := s.reducers.Get().(*core.Reducer)
+		defer s.reducers.Put(red)
+		return red.Reduce(values, s.cfg.M)
+	}
+	m, err := methodFor(s.cfg.Method)
+	if err != nil {
+		return nil, err
+	}
+	return m.Reduce(values, s.cfg.M)
+}
+
+// checkSeries validates values against the index's fixed series length.
+// A zero fixed length (nothing ingested yet) admits any valid series.
+func (s *Server) checkSeries(values ts.Series) error {
+	if err := tsio.ValidateSeries(values); err != nil {
+		return err
+	}
+	if n := s.seriesLen(); n != 0 && len(values) != n {
+		return fmt.Errorf("series length %d does not match index series length %d", len(values), n)
+	}
+	return nil
+}
+
+// ingestRequest is the POST /v1/ingest body.
+type ingestRequest struct {
+	// ID is optional; omitted IDs are assigned by the server.
+	ID     *int      `json:"id"`
+	Values ts.Series `json:"values"`
+}
+
+// ingestResponse reports the stored entry.
+type ingestResponse struct {
+	ID             int             `json:"id"`
+	IndexSize      int             `json:"index_size"`
+	Epoch          uint64          `json:"epoch"`
+	Representation json.RawMessage `json:"representation,omitempty"`
+}
+
+// handleIngest reduces one raw series and inserts it into the index.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := s.checkSeries(req.Values); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rep, err := s.reduce(req.Values)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "reduce: %v", err)
+		return
+	}
+
+	// The ID set, fixed length and insert must commit together so two
+	// racing ingests cannot claim one ID or disagree on the series length.
+	s.mu.Lock()
+	if s.n != 0 && len(req.Values) != s.n {
+		n := s.n
+		s.mu.Unlock()
+		writeErr(w, http.StatusBadRequest,
+			"series length %d does not match index series length %d", len(req.Values), n)
+		return
+	}
+	var id int
+	if req.ID != nil {
+		id = *req.ID
+		if _, dup := s.ids[id]; dup {
+			s.mu.Unlock()
+			writeErr(w, http.StatusConflict, "id %d already exists", id)
+			return
+		}
+		if id >= s.nextID {
+			s.nextID = id + 1
+		}
+	} else {
+		id = s.nextID
+		s.nextID++
+	}
+	if err := s.idx.Insert(index.NewEntry(id, req.Values, rep)); err != nil {
+		s.mu.Unlock()
+		writeErr(w, http.StatusInternalServerError, "insert: %v", err)
+		return
+	}
+	s.ids[id] = struct{}{}
+	s.n = len(req.Values)
+	s.mu.Unlock()
+
+	s.metrics.ingested.Add(1)
+	resp := ingestResponse{ID: id, IndexSize: s.idx.Len(), Epoch: s.idx.Epoch()}
+	if r.URL.Query().Get("include_rep") == "1" {
+		if raw, err := tsio.MarshalRepresentation(rep); err == nil {
+			resp.Representation = raw
+		}
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+// resultJSON is one k-NN / range answer.
+type resultJSON struct {
+	ID   int     `json:"id"`
+	Dist float64 `json:"dist"`
+}
+
+// statsJSON mirrors index.SearchStats.
+type statsJSON struct {
+	Measured     int `json:"measured"`
+	Filtered     int `json:"filtered"`
+	NodesVisited int `json:"nodes_visited"`
+}
+
+func toResults(res []index.Result) []resultJSON {
+	out := make([]resultJSON, len(res))
+	for i, r := range res {
+		out[i] = resultJSON{ID: r.Entry.ID, Dist: r.Dist}
+	}
+	return out
+}
+
+func toStats(st index.SearchStats) statsJSON {
+	return statsJSON{Measured: st.Measured, Filtered: st.Filtered, NodesVisited: st.NodesVisited}
+}
+
+// knnRequest is the POST /v1/knn body.
+type knnRequest struct {
+	Values ts.Series `json:"values"`
+	K      int       `json:"k"`
+}
+
+// knnResponse answers one query.
+type knnResponse struct {
+	Epoch   uint64       `json:"epoch"`
+	Results []resultJSON `json:"results"`
+	Stats   statsJSON    `json:"stats"`
+}
+
+// prepareQuery validates and reduces one query series.
+func (s *Server) prepareQuery(values ts.Series) (dist.Query, error) {
+	if err := s.checkSeries(values); err != nil {
+		return dist.Query{}, err
+	}
+	rep, err := s.reduce(values)
+	if err != nil {
+		return dist.Query{}, fmt.Errorf("reduce: %w", err)
+	}
+	return dist.NewQuery(values, rep), nil
+}
+
+// checkK bounds k.
+func (s *Server) checkK(k int) error {
+	if k <= 0 || k > s.cfg.MaxK {
+		return fmt.Errorf("k must be in [1, %d], got %d", s.cfg.MaxK, k)
+	}
+	return nil
+}
+
+// handleKNN answers one k-NN query through the BatchKNN pool, so single
+// queries and batches share one code path (and one workspace pool).
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	var req knnRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := s.checkK(req.K); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q, err := s.prepareQuery(req.Values)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	size := s.idx.Len()
+	out, stats, err := index.BatchKNN(s.idx, []dist.Query{q}, req.K, s.cfg.Workers)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "knn: %v", err)
+		return
+	}
+	s.metrics.addSearch(1, stats[0].Measured, stats[0].Filtered, stats[0].NodesVisited, size)
+	writeJSON(w, http.StatusOK, knnResponse{
+		Epoch:   s.idx.Epoch(),
+		Results: toResults(out[0]),
+		Stats:   toStats(stats[0]),
+	})
+}
+
+// batchRequest is the POST /v1/knn/batch body.
+type batchRequest struct {
+	K       int `json:"k"`
+	Queries []struct {
+		Values ts.Series `json:"values"`
+	} `json:"queries"`
+}
+
+// batchResponse answers a batch; Answers[i] corresponds to Queries[i].
+type batchResponse struct {
+	Epoch   uint64      `json:"epoch"`
+	Answers []knnAnswer `json:"answers"`
+	Totals  statsJSON   `json:"totals"`
+}
+
+// knnAnswer is one query's slot in a batch response.
+type knnAnswer struct {
+	Results []resultJSON `json:"results"`
+	Stats   statsJSON    `json:"stats"`
+}
+
+// handleKNNBatch answers many k-NN queries concurrently on the work-stealing
+// BatchKNN pool; each query sees a consistent index snapshot.
+func (s *Server) handleKNNBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := s.checkK(req.K); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeErr(w, http.StatusBadRequest, "batch needs at least one query")
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatch {
+		writeErr(w, http.StatusBadRequest,
+			"batch of %d exceeds limit %d", len(req.Queries), s.cfg.MaxBatch)
+		return
+	}
+	queries := make([]dist.Query, len(req.Queries))
+	for i, rq := range req.Queries {
+		q, err := s.prepareQuery(rq.Values)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "query %d: %v", i, err)
+			return
+		}
+		queries[i] = q
+	}
+	size := s.idx.Len()
+	out, stats, err := index.BatchKNN(s.idx, queries, req.K, s.cfg.Workers)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "batch knn: %v", err)
+		return
+	}
+	resp := batchResponse{Epoch: s.idx.Epoch(), Answers: make([]knnAnswer, len(out))}
+	var tm, tf, tn int
+	for i := range out {
+		resp.Answers[i] = knnAnswer{Results: toResults(out[i]), Stats: toStats(stats[i])}
+		tm += stats[i].Measured
+		tf += stats[i].Filtered
+		tn += stats[i].NodesVisited
+	}
+	resp.Totals = statsJSON{Measured: tm, Filtered: tf, NodesVisited: tn}
+	s.metrics.addSearch(len(queries), tm, tf, tn, size)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// rangeRequest is the POST /v1/range body.
+type rangeRequest struct {
+	Values ts.Series `json:"values"`
+	Radius float64   `json:"radius"`
+}
+
+// handleRange answers one ε-range query.
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	var req rangeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Radius < 0 {
+		writeErr(w, http.StatusBadRequest, "radius must be >= 0, got %g", req.Radius)
+		return
+	}
+	q, err := s.prepareQuery(req.Values)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	size := s.idx.Len()
+	res, stats, err := s.idx.Range(q, req.Radius)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "range: %v", err)
+		return
+	}
+	s.metrics.addSearch(1, stats.Measured, stats.Filtered, stats.NodesVisited, size)
+	writeJSON(w, http.StatusOK, knnResponse{
+		Epoch:   s.idx.Epoch(),
+		Results: toResults(res),
+		Stats:   toStats(stats),
+	})
+}
+
+// deleteResponse reports a removal.
+type deleteResponse struct {
+	ID        int    `json:"id"`
+	Deleted   bool   `json:"deleted"`
+	IndexSize int    `json:"index_size"`
+	Epoch     uint64 `json:"epoch"`
+}
+
+// handleDelete removes one series by ID.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad id %q", r.PathValue("id"))
+		return
+	}
+	s.mu.Lock()
+	_, present := s.ids[id]
+	if present {
+		if !s.idx.Delete(id) {
+			s.mu.Unlock()
+			writeErr(w, http.StatusInternalServerError,
+				"id %d tracked but not found in index", id)
+			return
+		}
+		delete(s.ids, id)
+	}
+	s.mu.Unlock()
+	if !present {
+		writeErr(w, http.StatusNotFound, "id %d not found", id)
+		return
+	}
+	s.metrics.deleted.Add(1)
+	writeJSON(w, http.StatusOK, deleteResponse{
+		ID: id, Deleted: true, IndexSize: s.idx.Len(), Epoch: s.idx.Epoch(),
+	})
+}
+
+// handleHealthz is the liveness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"index_size": s.idx.Len(),
+		"epoch":      s.idx.Epoch(),
+	})
+}

@@ -1,0 +1,261 @@
+// Package server exposes the SAPLA similarity-search engine as a
+// long-running HTTP service: series are ingested (reduced and indexed into a
+// DBCH-tree behind a ConcurrentIndex) while k-NN, batch k-NN and ε-range
+// queries are answered concurrently through the BatchKNN worker pool. The
+// service is the north-star serving path: reads take a shared lock and reuse
+// pooled workspaces (no per-request index rebuild, allocation-free search
+// hot path), writes serialize, and shutdown drains in-flight requests.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"sapla/internal/core"
+	"sapla/internal/index"
+	"sapla/internal/reduce"
+)
+
+// Config tunes one Server. The zero value is usable: every field falls back
+// to the default documented on it.
+type Config struct {
+	// Method is the reduction method indexed ("SAPLA", "APCA", ...).
+	// Default "SAPLA".
+	Method string
+	// M is the per-series coefficient budget. Default 12 (4 segments).
+	M int
+	// MinFill/MaxFill are the DBCH node fill bounds. Default 2/5 (paper
+	// Section 6).
+	MinFill, MaxFill int
+	// SafeBound enables the triangle-safe node bound (no false dismissals).
+	// Default true: a service should not silently drop true neighbours.
+	SafeBound *bool
+	// Workers sizes the BatchKNN pool for /v1/knn/batch. Default 0 =
+	// GOMAXPROCS.
+	Workers int
+	// MaxK caps k per query. Default 128.
+	MaxK int
+	// MaxBatch caps queries per batch request. Default 256.
+	MaxBatch int
+	// MaxBodyBytes bounds request bodies. Default 8 MiB.
+	MaxBodyBytes int64
+	// RequestTimeout bounds each API request end-to-end. Default 30s.
+	RequestTimeout time.Duration
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Method == "" {
+		c.Method = "SAPLA"
+	}
+	if c.M <= 0 {
+		c.M = 12
+	}
+	if c.MinFill <= 0 || c.MaxFill <= 0 {
+		c.MinFill, c.MaxFill = 2, 5
+	}
+	if c.SafeBound == nil {
+		t := true
+		c.SafeBound = &t
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 128
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Server is the similarity-search HTTP service. Create with New, mount via
+// Handler, run with Serve/ListenAndServe, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	idx     *index.ConcurrentIndex
+	metrics *metrics
+	handler http.Handler
+
+	// reducers pools the allocation-free SAPLA reduction workspaces the
+	// ingest and query paths borrow (core.Reducer is single-goroutine).
+	reducers sync.Pool
+
+	// mu guards the ingest bookkeeping that must change atomically with an
+	// insert: the ID set (uniqueness), the fixed series length, and the
+	// auto-ID counter. Search paths never take it.
+	mu     sync.Mutex
+	ids    map[int]struct{}
+	n      int // series length, fixed by the first ingest
+	nextID int
+
+	httpMu  sync.Mutex
+	httpSrv *http.Server
+}
+
+// New builds a Server over a fresh DBCH-tree for cfg.Method.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Method != "SAPLA" {
+		if _, err := methodFor(cfg.Method); err != nil {
+			return nil, err
+		}
+	}
+	tree, err := index.NewDBCH(cfg.Method, cfg.MinFill, cfg.MaxFill)
+	if err != nil {
+		return nil, err
+	}
+	tree.SafeBound = *cfg.SafeBound
+	s := &Server{
+		cfg:     cfg,
+		idx:     index.NewConcurrent(tree),
+		metrics: newMetrics(),
+		ids:     make(map[int]struct{}),
+	}
+	s.reducers.New = func() any { return core.NewReducer() }
+	s.handler = s.buildHandler()
+	return s, nil
+}
+
+// methodFor returns a fresh instance of a non-SAPLA reduction method.
+// Fresh per call: baseline methods carry scratch state and are not safe for
+// concurrent use, and their constructors are cheap.
+func methodFor(name string) (reduce.Method, error) {
+	for _, m := range reduce.Baselines() {
+		if m.Name() == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("server: unknown method %q", name)
+}
+
+// Handler returns the root handler: API routes wrapped with metrics, body
+// limits and per-request timeouts, plus /healthz, /metrics and
+// /debug/pprof.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// buildHandler wires the mux.
+func (s *Server) buildHandler() http.Handler {
+	mux := http.NewServeMux()
+
+	api := func(endpoint string, h http.HandlerFunc) http.Handler {
+		limited := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+			h(w, r)
+		})
+		timed := http.TimeoutHandler(limited, s.cfg.RequestTimeout,
+			`{"error":"request timed out"}`)
+		return s.instrument(endpoint, timed)
+	}
+
+	mux.Handle("POST /v1/ingest", api("ingest", s.handleIngest))
+	mux.Handle("POST /v1/knn", api("knn", s.handleKNN))
+	mux.Handle("POST /v1/knn/batch", api("knn_batch", s.handleKNNBatch))
+	mux.Handle("POST /v1/range", api("range", s.handleRange))
+	mux.Handle("DELETE /v1/series/{id}", api("delete", s.handleDelete))
+
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.metricsHandler)
+
+	// pprof wired explicitly so nothing leaks onto http.DefaultServeMux and
+	// profiles are not subject to the API request timeout.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	return mux
+}
+
+// instrument wraps h with request counting and latency observation.
+func (s *Server) instrument(endpoint string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(sw, r)
+		s.metrics.observe(endpoint, sw.status, time.Since(start))
+	})
+}
+
+// statusWriter captures the response status for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// seriesLen returns the fixed series length (0 before the first ingest).
+func (s *Server) seriesLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// treeStats reports the DBCH shape under the index's shared lock.
+func (s *Server) treeStats() (index.TreeStats, bool) {
+	var st index.TreeStats
+	var ok bool
+	s.idx.View(func(inner index.Index) {
+		type statser interface{ Stats() index.TreeStats }
+		if t, isT := inner.(statser); isT {
+			st, ok = t.Stats(), true
+		}
+	})
+	return st, ok
+}
+
+// Index exposes the concurrent index (read-mostly; used by tests and the
+// CLI for diagnostics).
+func (s *Server) Index() *index.ConcurrentIndex { return s.idx }
+
+// ListenAndServe serves on addr until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Serve blocks serving l until Shutdown. http.ErrServerClosed signals a
+// clean stop.
+func (s *Server) Serve(l net.Listener) error {
+	srv := &http.Server{
+		Handler: s.handler,
+		// Header read and idle bounds; per-request work is bounded by the
+		// API TimeoutHandler, and pprof profiles may legitimately stream
+		// for longer than any single API call.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	s.httpMu.Lock()
+	s.httpSrv = srv
+	s.httpMu.Unlock()
+	return srv.Serve(l)
+}
+
+// Shutdown gracefully stops the server: the listener closes immediately,
+// in-flight requests drain until ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.httpMu.Lock()
+	srv := s.httpSrv
+	s.httpMu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
+}

@@ -1,0 +1,444 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sapla/internal/ts"
+)
+
+// newTestServer returns a Server with tight limits and its base URL.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return s, hs
+}
+
+// randWalk builds a deterministic random-walk series.
+func randWalk(rng *rand.Rand, n int) ts.Series {
+	s := make(ts.Series, n)
+	var v float64
+	for i := range s {
+		v += rng.NormFloat64()
+		s[i] = v
+	}
+	return s
+}
+
+// doJSON posts body to url and decodes the response into out (if non-nil),
+// returning the status code.
+func doJSON(t *testing.T, client *http.Client, method, url string, body, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil && err != io.EOF {
+			t.Fatalf("%s %s: decode: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func ingestOne(t *testing.T, client *http.Client, base string, id *int, values ts.Series) ingestResponse {
+	t.Helper()
+	var resp ingestResponse
+	body := map[string]any{"values": values}
+	if id != nil {
+		body["id"] = *id
+	}
+	if code := doJSON(t, client, "POST", base+"/v1/ingest", body, &resp); code != http.StatusCreated {
+		t.Fatalf("ingest returned %d", code)
+	}
+	return resp
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	const n, count = 64, 40
+	_, hs := newTestServer(t, Config{M: 12})
+	client := hs.Client()
+	rng := rand.New(rand.NewSource(5))
+
+	series := make([]ts.Series, count)
+	for i := range series {
+		series[i] = randWalk(rng, n)
+		resp := ingestOne(t, client, hs.URL, nil, series[i])
+		if resp.ID != i {
+			t.Fatalf("auto id = %d, want %d", resp.ID, i)
+		}
+	}
+
+	// Self-query: the ingested series is its own nearest neighbour.
+	var knn knnResponse
+	if code := doJSON(t, client, "POST", hs.URL+"/v1/knn",
+		map[string]any{"values": series[3], "k": 5}, &knn); code != http.StatusOK {
+		t.Fatalf("knn returned %d", code)
+	}
+	if len(knn.Results) != 5 {
+		t.Fatalf("knn returned %d results, want 5", len(knn.Results))
+	}
+	if knn.Results[0].ID != 3 || knn.Results[0].Dist != 0 {
+		t.Fatalf("self query top hit = %+v, want id 3 dist 0", knn.Results[0])
+	}
+	if knn.Stats.Measured == 0 {
+		t.Fatal("knn stats report zero measured series")
+	}
+
+	// Batch: every query's own series leads its answer slot.
+	batch := map[string]any{"k": 3, "queries": []map[string]any{
+		{"values": series[0]}, {"values": series[7]}, {"values": series[19]},
+	}}
+	var bresp batchResponse
+	if code := doJSON(t, client, "POST", hs.URL+"/v1/knn/batch", batch, &bresp); code != http.StatusOK {
+		t.Fatalf("batch returned %d", code)
+	}
+	wantTop := []int{0, 7, 19}
+	if len(bresp.Answers) != 3 {
+		t.Fatalf("batch returned %d answers", len(bresp.Answers))
+	}
+	for i, ans := range bresp.Answers {
+		if len(ans.Results) != 3 || ans.Results[0].ID != wantTop[i] {
+			t.Fatalf("batch answer %d: %+v, want top id %d", i, ans.Results, wantTop[i])
+		}
+	}
+
+	// Range with the radius of the 3rd neighbour returns at least 3 hits.
+	var rresp knnResponse
+	if code := doJSON(t, client, "POST", hs.URL+"/v1/range",
+		map[string]any{"values": series[3], "radius": knn.Results[2].Dist}, &rresp); code != http.StatusOK {
+		t.Fatalf("range returned %d", code)
+	}
+	if len(rresp.Results) < 3 {
+		t.Fatalf("range returned %d results, want >= 3", len(rresp.Results))
+	}
+
+	// Delete, then confirm the id is gone from k-NN answers.
+	var dresp deleteResponse
+	if code := doJSON(t, client, "DELETE", hs.URL+"/v1/series/3", nil, &dresp); code != http.StatusOK {
+		t.Fatalf("delete returned %d", code)
+	}
+	if !dresp.Deleted || dresp.IndexSize != count-1 {
+		t.Fatalf("delete response %+v", dresp)
+	}
+	if code := doJSON(t, client, "DELETE", hs.URL+"/v1/series/3", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("second delete returned %d, want 404", code)
+	}
+	if code := doJSON(t, client, "POST", hs.URL+"/v1/knn",
+		map[string]any{"values": series[3], "k": 5}, &knn); code != http.StatusOK {
+		t.Fatalf("knn after delete returned %d", code)
+	}
+	for _, r := range knn.Results {
+		if r.ID == 3 {
+			t.Fatal("deleted id 3 still appears in k-NN results")
+		}
+	}
+
+	// Health and metrics.
+	var health map[string]any
+	if code := doJSON(t, client, "GET", hs.URL+"/healthz", nil, &health); code != http.StatusOK {
+		t.Fatalf("healthz returned %d", code)
+	}
+	if health["status"] != "ok" {
+		t.Fatalf("healthz = %v", health)
+	}
+	var met struct {
+		Requests map[string]int64 `json:"requests"`
+		Search   struct {
+			Queries      int64   `json:"queries"`
+			Measured     int64   `json:"measured"`
+			PruningRatio float64 `json:"pruning_ratio"`
+		} `json:"search"`
+		Index struct {
+			Size     int64          `json:"size"`
+			Ingested int64          `json:"ingested"`
+			Deleted  int64          `json:"deleted"`
+			Tree     map[string]any `json:"tree"`
+		} `json:"index"`
+		Latency map[string]histSnapshot `json:"latency"`
+	}
+	if code := doJSON(t, client, "GET", hs.URL+"/metrics", nil, &met); code != http.StatusOK {
+		t.Fatalf("metrics returned %d", code)
+	}
+	if met.Requests["ingest"] != count {
+		t.Fatalf("metrics ingest count = %d, want %d", met.Requests["ingest"], count)
+	}
+	if met.Search.Queries != 6 { // 2 knn + 3 batch + 1 range
+		t.Fatalf("metrics queries = %d, want 6", met.Search.Queries)
+	}
+	if met.Search.PruningRatio <= 0 || met.Search.PruningRatio > 1 {
+		t.Fatalf("pruning ratio = %g", met.Search.PruningRatio)
+	}
+	if met.Index.Size != count-1 || met.Index.Ingested != count || met.Index.Deleted != 1 {
+		t.Fatalf("metrics index = %+v", met.Index)
+	}
+	if met.Index.Tree["leaf_nodes"] == nil {
+		t.Fatal("metrics missing tree stats")
+	}
+	if met.Latency["knn"].Count != 2 {
+		t.Fatalf("knn latency count = %d, want 2", met.Latency["knn"].Count)
+	}
+
+	// pprof index is mounted.
+	resp, err := client.Get(hs.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof returned %d", resp.StatusCode)
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	_, hs := newTestServer(t, Config{M: 12, MaxK: 8, MaxBatch: 2, MaxBodyBytes: 1 << 16})
+	client := hs.Client()
+	rng := rand.New(rand.NewSource(6))
+	base := randWalk(rng, 64)
+	id0 := 0
+	ingestOne(t, client, hs.URL, &id0, base)
+
+	cases := []struct {
+		name, method, path string
+		body               any
+		want               int
+	}{
+		{"bad json", "POST", "/v1/ingest", nil, http.StatusBadRequest},
+		{"empty values", "POST", "/v1/ingest", map[string]any{"values": []float64{}}, http.StatusBadRequest},
+		{"length mismatch", "POST", "/v1/ingest", map[string]any{"values": randWalk(rng, 32)}, http.StatusBadRequest},
+		{"duplicate id", "POST", "/v1/ingest", map[string]any{"id": 0, "values": randWalk(rng, 64)}, http.StatusConflict},
+		{"k zero", "POST", "/v1/knn", map[string]any{"values": base, "k": 0}, http.StatusBadRequest},
+		{"k too large", "POST", "/v1/knn", map[string]any{"values": base, "k": 9}, http.StatusBadRequest},
+		{"query length mismatch", "POST", "/v1/knn", map[string]any{"values": randWalk(rng, 16), "k": 1}, http.StatusBadRequest},
+		{"negative radius", "POST", "/v1/range", map[string]any{"values": base, "radius": -1.0}, http.StatusBadRequest},
+		{"batch too large", "POST", "/v1/knn/batch", map[string]any{"k": 1, "queries": []map[string]any{
+			{"values": base}, {"values": base}, {"values": base}}}, http.StatusBadRequest},
+		{"batch empty", "POST", "/v1/knn/batch", map[string]any{"k": 1, "queries": []map[string]any{}}, http.StatusBadRequest},
+		{"delete non-numeric", "DELETE", "/v1/series/abc", nil, http.StatusBadRequest},
+		{"delete missing", "DELETE", "/v1/series/404", nil, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var code int
+			if tc.name == "bad json" {
+				resp, err := client.Post(hs.URL+tc.path, "application/json", strings.NewReader("{nope"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp.Body.Close()
+				code = resp.StatusCode
+			} else {
+				code = doJSON(t, client, tc.method, hs.URL+tc.path, tc.body, nil)
+			}
+			if code != tc.want {
+				t.Fatalf("got status %d, want %d", code, tc.want)
+			}
+		})
+	}
+
+	// Oversized body.
+	big := bytes.Repeat([]byte("1,"), 1<<16)
+	resp, err := client.Post(hs.URL+"/v1/ingest", "application/json",
+		bytes.NewReader(append([]byte(`{"values":[`), append(big, []byte("1]}")...)...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body returned %d, want 413", resp.StatusCode)
+	}
+
+	// Unknown method is rejected at construction.
+	if _, err := New(Config{Method: "NOPE"}); err == nil {
+		t.Fatal("New accepted unknown method")
+	}
+}
+
+// TestServerConcurrentTraffic hammers the HTTP surface with interleaved
+// ingest, delete, k-NN, batch and range requests. Run under -race it
+// exercises the ConcurrentIndex through the full serving path.
+func TestServerConcurrentTraffic(t *testing.T) {
+	const n = 48
+	s, hs := newTestServer(t, Config{M: 12, Workers: 2})
+	client := hs.Client()
+	rng := rand.New(rand.NewSource(77))
+
+	// Core entries never deleted; churn ids cycle.
+	for i := 0; i < 12; i++ {
+		ingestOne(t, client, hs.URL, nil, randWalk(rng, n))
+	}
+	queries := make([]ts.Series, 4)
+	for i := range queries {
+		queries[i] = randWalk(rng, n)
+	}
+	churn := make([]ts.Series, 8)
+	for i := range churn {
+		churn[i] = randWalk(rng, n)
+	}
+
+	iters := 30
+	if testing.Short() {
+		iters = 8
+	}
+	var wg sync.WaitGroup
+	// Writer: ingest churn ids 1000.. then delete them, repeatedly.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				for j, vals := range churn[w*4 : w*4+4] {
+					id := 1000 + w*4 + j
+					var resp ingestResponse
+					code := doJSON(t, client, "POST", hs.URL+"/v1/ingest",
+						map[string]any{"id": id, "values": vals}, &resp)
+					if code != http.StatusCreated {
+						t.Errorf("churn ingest %d returned %d", id, code)
+						return
+					}
+				}
+				for j := range churn[w*4 : w*4+4] {
+					id := 1000 + w*4 + j
+					if code := doJSON(t, client, "DELETE",
+						fmt.Sprintf("%s/v1/series/%d", hs.URL, id), nil, nil); code != http.StatusOK {
+						t.Errorf("churn delete %d returned %d", id, code)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	// Readers: knn + batch + range; every answer must include all 12 core ids
+	// when k covers the whole index.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(q ts.Series) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				var knn knnResponse
+				if code := doJSON(t, client, "POST", hs.URL+"/v1/knn",
+					map[string]any{"values": q, "k": 30}, &knn); code != http.StatusOK {
+					t.Errorf("knn returned %d", code)
+					return
+				}
+				core := 0
+				for _, res := range knn.Results {
+					if res.ID < 12 {
+						core++
+					}
+				}
+				if core != 12 {
+					t.Errorf("knn saw %d of 12 core entries (inconsistent snapshot)", core)
+					return
+				}
+				var bresp batchResponse
+				if code := doJSON(t, client, "POST", hs.URL+"/v1/knn/batch",
+					map[string]any{"k": 5, "queries": []map[string]any{{"values": q}}}, &bresp); code != http.StatusOK {
+					t.Errorf("batch returned %d", code)
+					return
+				}
+				if code := doJSON(t, client, "POST", hs.URL+"/v1/range",
+					map[string]any{"values": q, "radius": 10.0}, nil); code != http.StatusOK {
+					t.Errorf("range returned %d", code)
+					return
+				}
+			}
+		}(queries[r])
+	}
+	wg.Wait()
+
+	if got := s.Index().Len(); got != 12 {
+		t.Fatalf("final index size = %d, want 12", got)
+	}
+}
+
+func TestServerGracefulShutdown(t *testing.T) {
+	s, err := New(Config{M: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(l) }()
+
+	// The server answers, then drains cleanly.
+	url := "http://" + l.Addr().String()
+	var health map[string]any
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			json.NewDecoder(resp.Body).Decode(&health)
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if health["status"] != "ok" {
+		t.Fatalf("healthz = %v", health)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-done; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+	// Shutdown with no serve started is a no-op.
+	s2, _ := New(Config{})
+	if err := s2.Shutdown(context.Background()); err != nil {
+		t.Fatalf("idle shutdown: %v", err)
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	// A 1ns budget forces the TimeoutHandler to fire even for a trivial
+	// request, proving the timeout path is wired.
+	_, hs := newTestServer(t, Config{M: 12, RequestTimeout: time.Nanosecond})
+	resp, err := hs.Client().Post(hs.URL+"/v1/knn", "application/json",
+		strings.NewReader(`{"values":[1,2,3],"k":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("timeout request returned %d, want 503", resp.StatusCode)
+	}
+}

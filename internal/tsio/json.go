@@ -1,0 +1,44 @@
+package tsio
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"sapla/internal/repr"
+	"sapla/internal/ts"
+)
+
+// MarshalRepresentation returns the representation's JSON envelope (the same
+// format EncodeRepresentation writes, without the trailing newline) so it can
+// be embedded in larger JSON documents such as HTTP responses.
+func MarshalRepresentation(rep repr.Representation) (json.RawMessage, error) {
+	var buf bytes.Buffer
+	if err := EncodeRepresentation(&buf, rep); err != nil {
+		return nil, err
+	}
+	return json.RawMessage(bytes.TrimRight(buf.Bytes(), "\n")), nil
+}
+
+// UnmarshalRepresentation parses one JSON envelope produced by
+// MarshalRepresentation / EncodeRepresentation.
+func UnmarshalRepresentation(data []byte) (repr.Representation, error) {
+	return DecodeRepresentation(bytes.NewReader(data))
+}
+
+// ValidateSeries rejects series that the distance kernels cannot handle:
+// empty input and non-finite values (encoding/json never produces NaN/Inf
+// from a document, but series also arrive from binary decoders and
+// programmatic callers).
+func ValidateSeries(s ts.Series) error {
+	if len(s) == 0 {
+		return ErrEmptyInput
+	}
+	for i, v := range s {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("tsio: non-finite value %g at position %d", v, i)
+		}
+	}
+	return nil
+}

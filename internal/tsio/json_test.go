@@ -1,0 +1,70 @@
+package tsio
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"sapla/internal/repr"
+	"sapla/internal/segment"
+	"sapla/internal/ts"
+)
+
+func TestMarshalRepresentationRoundTrip(t *testing.T) {
+	reps := []repr.Representation{
+		repr.Linear{N: 8, Segs: []repr.LinearSeg{
+			{Line: segment.Line{A: 0.5, B: 1}, R: 3},
+			{Line: segment.Line{A: -0.25, B: 2}, R: 7},
+		}},
+		repr.PAA{N: 4, Values: []float64{1, 2, 3, 4}},
+		repr.Cheby{N: 3, Coefs: []float64{0.1, -0.2, 0.3}},
+	}
+	for _, rep := range reps {
+		raw, err := MarshalRepresentation(rep)
+		if err != nil {
+			t.Fatalf("%T: %v", rep, err)
+		}
+		// The envelope must embed cleanly in a larger JSON document.
+		doc, err := json.Marshal(map[string]json.RawMessage{"rep": raw})
+		if err != nil {
+			t.Fatalf("%T: embed: %v", rep, err)
+		}
+		var outer struct {
+			Rep json.RawMessage `json:"rep"`
+		}
+		if err := json.Unmarshal(doc, &outer); err != nil {
+			t.Fatalf("%T: re-parse: %v", rep, err)
+		}
+		back, err := UnmarshalRepresentation(outer.Rep)
+		if err != nil {
+			t.Fatalf("%T: unmarshal: %v", rep, err)
+		}
+		if !reflect.DeepEqual(rep, back) {
+			t.Errorf("%T: round trip mismatch:\n got %#v\nwant %#v", rep, back, rep)
+		}
+	}
+}
+
+func TestUnmarshalRepresentationRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"", "{}", `{"kind":"nope"}`, `{"kind":"paa"}`, "not json"} {
+		if _, err := UnmarshalRepresentation([]byte(bad)); err == nil {
+			t.Errorf("UnmarshalRepresentation(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestValidateSeries(t *testing.T) {
+	if err := ValidateSeries(ts.Series{1, 2, 3}); err != nil {
+		t.Errorf("valid series rejected: %v", err)
+	}
+	if err := ValidateSeries(nil); err == nil {
+		t.Error("empty series accepted")
+	}
+	if err := ValidateSeries(ts.Series{1, math.NaN()}); err == nil {
+		t.Error("NaN accepted")
+	}
+	if err := ValidateSeries(ts.Series{math.Inf(1)}); err == nil {
+		t.Error("+Inf accepted")
+	}
+}

@@ -131,6 +131,16 @@ func BatchKNN(idx Index, queries []Query, k, workers int) ([][]Result, []SearchS
 	return index.BatchKNN(idx, queries, k, workers)
 }
 
+// ConcurrentIndex makes any Index safe for concurrent readers and writers:
+// searches hold a shared lock for their whole traversal and every mutation
+// advances an epoch that stamps answers with the index version they
+// correspond to. It backs the sapla-serve HTTP service.
+type ConcurrentIndex = index.ConcurrentIndex
+
+// NewConcurrentIndex wraps inner for concurrent use. The caller must stop
+// using inner directly.
+func NewConcurrentIndex(inner Index) *ConcurrentIndex { return index.NewConcurrent(inner) }
+
 // Baseline method constructors (paper Table 1).
 var (
 	// APLA is the optimal-but-slow adaptive linear DP baseline, O(Nn²).
