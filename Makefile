@@ -3,19 +3,25 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all ci build test race race-short cover bench benchdiff vet fmtcheck fuzz experiments report clean
+.PHONY: all ci build test race race-short cover bench benchdiff vet lint fmtcheck fuzz experiments report clean
 
-all: build vet test race-short
+all: build vet lint test race-short
 
 # ci mirrors .github/workflows/ci.yml step for step: the workflow shells out
 # to exactly these targets, so what passes here passes there.
-ci: build vet fmtcheck test race-short
+ci: build vet lint fmtcheck test race-short
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific static analysis (internal/lint): zero-allocation hot paths,
+# mutex-guarded field access, float equality, eval/index determinism,
+# dropped errors. See README "Static analysis" for the annotation escapes.
+lint:
+	$(GO) run ./cmd/sapla-lint ./...
 
 # Fail if any file needs gofmt.
 fmtcheck:
@@ -31,10 +37,10 @@ race:
 	$(GO) test -race ./...
 
 # Race-check the packages that run concurrent hot paths (the experiment
-# pool, the batch query engine / concurrent index, and the HTTP service)
-# without paying for a full -race sweep.
+# pool, the batch reduction fan-out, the batch query engine / concurrent
+# index, and the HTTP service) without paying for a full -race sweep.
 race-short:
-	$(GO) test -race ./internal/eval ./internal/index ./internal/server
+	$(GO) test -race ./internal/eval ./internal/index ./internal/reduce ./internal/server
 
 cover:
 	$(GO) test -cover ./...

@@ -59,7 +59,7 @@ func main() {
 			return err
 		}
 		if err := write(f); err != nil {
-			f.Close()
+			f.Close() //sapla:errok the write error takes precedence over any close failure
 			return err
 		}
 		return f.Close()

@@ -1,0 +1,79 @@
+// Command sapla-lint runs the repo's static analyzers: stdlib-only checks
+// that enforce the performance and concurrency contract — allocation-free
+// hot paths (noalloc), mutex discipline on shared structs (lockguard), no
+// exact float comparison (floatcmp), worker-count-independent evaluation
+// (determinism) and no silently dropped errors (errcheck).
+//
+// Usage:
+//
+//	sapla-lint [-checks noalloc,lockguard,...] [patterns...]
+//
+// Patterns default to ./... and are module-relative ("./internal/index",
+// "./internal/..."). Exit status: 0 clean, 1 findings, 2 usage or load
+// failure. Findings print as "file:line:col: [check] message".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sapla/internal/lint"
+)
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated checks to run (default: all)")
+	list := flag.Bool("list", false, "list available checks and exit")
+	flag.Parse()
+
+	analyzers, err := lint.Analyzers(splitChecks(*checks)...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *list {
+		all, _ := lint.Analyzers()
+		for _, a := range all {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	prog, err := lint.Load(".", flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags := prog.Run(analyzers)
+	if len(diags) == 0 {
+		return
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", file, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+	}
+	fmt.Fprintf(os.Stderr, "sapla-lint: %d finding(s)\n", len(diags))
+	os.Exit(1)
+}
+
+// splitChecks parses the -checks flag.
+func splitChecks(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, c := range strings.Split(s, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -152,7 +152,7 @@ func SAXMinDist(q, c repr.Word) (float64, error) {
 		sum += d * d
 	}
 	scale := math.Sqrt(math.Max(q.Sigma, 0) * math.Max(c.Sigma, 0))
-	if q.Sigma == 0 && c.Sigma == 0 {
+	if q.Sigma == 0 && c.Sigma == 0 { //sapla:floateq Sigma is set to exactly 0 for constant series; both-constant selects the unscaled distance
 		scale = 1
 	}
 	n := float64(q.N)

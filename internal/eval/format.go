@@ -11,7 +11,7 @@ func table(write func(w *tabwriter.Writer)) string {
 	var sb strings.Builder
 	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
 	write(w)
-	w.Flush()
+	_ = w.Flush() // flushing into a strings.Builder cannot fail
 	return sb.String()
 }
 

@@ -134,7 +134,7 @@ func IndexExperiment(opt Options, m int) ([]IndexRow, error) {
 			}
 			la := &linSlots[u]
 			for range opt.Ks {
-				startT := time.Now()
+				startT := time.Now() //sapla:nondet wall-clock timing is the reported KNNTime column, not part of the ranking
 				_, sts, err := index.BatchKNN(scan, qs, maxK, 1)
 				la.knnT += time.Since(startT)
 				if err != nil {
@@ -156,7 +156,7 @@ func IndexExperiment(opt Options, m int) ([]IndexRow, error) {
 
 		// Reduce all series once (the dominant share of Figure 14a).
 		entries := make([]*index.Entry, len(data))
-		startReduce := time.Now()
+		startReduce := time.Now() //sapla:nondet wall-clock timing is the reported ReduceTime column, not part of the ranking
 		for id, c := range data {
 			rep, err := meth.Reduce(c, m)
 			if err != nil {
@@ -187,7 +187,7 @@ func IndexExperiment(opt Options, m int) ([]IndexRow, error) {
 			{db, db.Stats, 1},
 		}
 		for _, tr := range trees {
-			startT := time.Now()
+			startT := time.Now() //sapla:nondet wall-clock timing is the reported IngestTime column, not part of the ranking
 			for _, e := range entries {
 				if err := tr.idx.Insert(e); err != nil {
 					errs[u] = err
@@ -215,7 +215,7 @@ func IndexExperiment(opt Options, m int) ([]IndexRow, error) {
 					k = len(data)
 				}
 				for _, tr := range trees {
-					startT := time.Now()
+					startT := time.Now() //sapla:nondet wall-clock timing is the reported KNNTime column, not part of the ranking
 					res, st, err := tr.idx.KNNWith(ws, query, k)
 					if err != nil {
 						errs[u] = err

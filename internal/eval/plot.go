@@ -23,7 +23,7 @@ func AsciiPlot(c ts.Series, rep repr.Representation, height int) string {
 	} else if rhi > hi {
 		hi = rhi
 	}
-	if hi == lo {
+	if hi == lo { //sapla:floateq guards the exactly-flat-series case before dividing by (hi-lo)
 		hi = lo + 1
 	}
 	rowOf := func(v float64) int {

@@ -51,7 +51,7 @@ func ReductionExperiment(opt Options) ([]ReductionRow, error) {
 		base := u * nm * nk
 		for mi, meth := range methods {
 			for ki, m := range opt.Ms {
-				startT := time.Now()
+				startT := time.Now() //sapla:nondet wall-clock timing is the reported Time column, not part of the ranking
 				rep, err := meth.Reduce(c, m)
 				el := time.Since(startT)
 				if err != nil {

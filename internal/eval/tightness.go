@@ -59,7 +59,7 @@ func TightnessExperiment(opt Options, m int) ([]TightnessRow, error) {
 			query := dist.NewQuery(q, qrep)
 			for i, c := range data {
 				d, err := ts.Euclidean(q, c)
-				if err != nil || d == 0 {
+				if err != nil || d == 0 { //sapla:floateq identical pairs have exactly zero distance; skipped before the tightness division
 					continue
 				}
 				for mi, meas := range measures {

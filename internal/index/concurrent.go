@@ -49,13 +49,15 @@ func (c *ConcurrentIndex) Insert(e *Entry) error {
 
 // Delete removes the entry with the given ID under the exclusive lock. It
 // returns false when the ID is absent or the wrapped index cannot delete.
+// The capability check happens under the lock too: every read of the wrapped
+// index, even a type assertion, observes it through the mutex.
 func (c *ConcurrentIndex) Delete(id int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	d, ok := c.inner.(Deleter)
 	if !ok {
 		return false
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if !d.Delete(id) {
 		return false
 	}
@@ -84,6 +86,8 @@ func (c *ConcurrentIndex) KNN(q dist.Query, k int) ([]Result, SearchStats, error
 
 // KNNWith implements WorkspaceSearcher; the whole search holds the shared
 // lock, so the returned results correspond to one consistent tree snapshot.
+//
+//sapla:noalloc
 func (c *ConcurrentIndex) KNNWith(ws *Workspace, q dist.Query, k int) ([]Result, SearchStats, error) {
 	res, stats, _, err := c.KNNSnapshot(ws, q, k)
 	return res, stats, err
@@ -105,14 +109,15 @@ func (c *ConcurrentIndex) KNNSnapshot(ws *Workspace, q dist.Query, k int) ([]Res
 }
 
 // Range implements RangeSearcher when the wrapped index does; otherwise it
-// returns empty results.
+// returns empty results. The capability check runs under the shared lock:
+// even the type assertion is a read of the wrapped index.
 func (c *ConcurrentIndex) Range(q dist.Query, radius float64) ([]Result, SearchStats, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	r, ok := c.inner.(RangeSearcher)
 	if !ok {
 		return nil, SearchStats{}, nil
 	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	return r.Range(q, radius)
 }
 

@@ -172,7 +172,7 @@ func (t *DBCH) pickBranch(nd *dnode, r repr.Representation) *dnode {
 		if grow < 0 {
 			grow = 0
 		}
-		if grow < bestCost || (grow == bestCost && ch.volume < bestVol) {
+		if grow < bestCost || (grow == bestCost && ch.volume < bestVol) { //sapla:floateq exact tie-break on growth cost; ties fall through to the smaller hull volume
 			best, bestCost, bestVol = ch, grow, ch.volume
 		}
 	}
@@ -348,6 +348,8 @@ func (t *DBCH) bound(nd *dnode, q dist.Query) float64 {
 }
 
 // boundOf implements searcher.
+//
+//sapla:noalloc
 func (t *DBCH) boundOf(q dist.Query, nd treeNode) float64 {
 	return t.bound(nd.(*dnode), q)
 }
@@ -358,6 +360,8 @@ func (t *DBCH) KNN(q dist.Query, k int) ([]Result, SearchStats, error) {
 }
 
 // KNNWith implements WorkspaceSearcher.
+//
+//sapla:noalloc
 func (t *DBCH) KNNWith(ws *Workspace, q dist.Query, k int) ([]Result, SearchStats, error) {
 	if t.root == nil {
 		return nil, SearchStats{}, nil

@@ -76,7 +76,7 @@ func weightedMinDist(w []float64) nodeDistFunc {
 		v := q.Rep.Coeffs()
 		var sum float64
 		for d := range v {
-			if d >= len(w) || w[d] == 0 {
+			if d >= len(w) || w[d] == 0 { //sapla:floateq weights are constructed with literal 0 for dimensions that carry no bound
 				continue
 			}
 			g := gap(v[d], r.Lo[d], r.Hi[d])

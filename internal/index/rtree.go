@@ -102,7 +102,7 @@ func (t *RTree) chooseChild(nd *rnode, er Rect) *rnode {
 	for _, ch := range nd.children {
 		enl := ch.rect.enlargement(er)
 		mg := ch.rect.margin()
-		if enl < bestEnl || (enl == bestEnl && mg < bestMargin) {
+		if enl < bestEnl || (enl == bestEnl && mg < bestMargin) { //sapla:floateq exact tie-break on enlargement; ties fall through to the smaller margin
 			best, bestEnl, bestMargin = ch, enl, mg
 		}
 	}
@@ -186,7 +186,7 @@ func quadraticSplit[T any](items []T, rectOf func(T) Rect, minFill int) (g1, g2 
 		}
 		it := rest[bestI]
 		rest = append(rest[:bestI], rest[bestI+1:]...)
-		if bestE1 < bestE2 || (bestE1 == bestE2 && len(g1) <= len(g2)) {
+		if bestE1 < bestE2 || (bestE1 == bestE2 && len(g1) <= len(g2)) { //sapla:floateq exact tie-break on enlargement; ties fall through to the smaller group
 			g1 = append(g1, it)
 			r1.extend(rectOf(it))
 		} else {
@@ -212,6 +212,8 @@ func (n *rnode) Child(i int) treeNode { return n.children[i] }
 func (n *rnode) Entries() []*Entry { return n.entries }
 
 // boundOf implements searcher: the MBR lower bound of the node.
+//
+//sapla:noalloc
 func (t *RTree) boundOf(q dist.Query, nd treeNode) float64 {
 	return t.nodeDist(q, nd.(*rnode).rect)
 }
@@ -222,6 +224,8 @@ func (t *RTree) KNN(q dist.Query, k int) ([]Result, SearchStats, error) {
 }
 
 // KNNWith implements WorkspaceSearcher.
+//
+//sapla:noalloc
 func (t *RTree) KNNWith(ws *Workspace, q dist.Query, k int) ([]Result, SearchStats, error) {
 	if t.root == nil {
 		return nil, SearchStats{}, nil

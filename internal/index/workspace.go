@@ -30,7 +30,7 @@ func NewWorkspace() *Workspace {
 func (ws *Workspace) drainResults() []Result {
 	n := ws.best.Len()
 	if cap(ws.results) < n {
-		ws.results = make([]Result, n)
+		ws.results = make([]Result, n) //sapla:alloc one-time growth of the reused result buffer; steady state never re-enters
 	}
 	ws.results = ws.results[:n]
 	for i := n - 1; i >= 0; i-- {

@@ -1,0 +1,314 @@
+// Package lint is the repo's static-analysis driver: a stdlib-only
+// (go/parser, go/ast, go/types, go/token — no x/tools dependency) analysis
+// framework plus the repo-specific analyzers that turn the performance and
+// concurrency contract established by the benchmarks — zero-allocation hot
+// paths, lock-guarded shared state, deterministic evaluation output — into
+// compile-time checks that run on every push instead of regression signals
+// that fire after the fact.
+//
+// The driver loads and type-checks packages (see Load), runs each Analyzer
+// over every requested package, and reports findings as
+// "file:line:col: [check] message". Intentional exceptions are annotated in
+// the source with //sapla: directives:
+//
+//	//sapla:noalloc            marks a function whose same-package call
+//	                           closure must not allocate (marker, placed in
+//	                           the function's doc comment)
+//	//sapla:alloc <reason>     suppresses a noalloc finding on its line
+//	//sapla:floateq <reason>   suppresses a floatcmp finding on its line
+//	//sapla:nondet <reason>    suppresses a determinism finding on its line
+//	//sapla:errok <reason>     suppresses an errcheck finding on its line
+//
+// Suppression directives require a reason: an annotation that does not say
+// why the exception is sound is itself a finding. A directive trailing code
+// applies to its own line; a directive alone on a line applies to the next
+// line.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+// String renders the finding in the canonical file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one (analyzer, package) run. Analyzers report through Reportf;
+// the pass applies //sapla: suppression directives before recording.
+type Pass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Fset returns the program-wide file set.
+func (p *Pass) Fset() *token.FileSet { return p.Prog.Fset }
+
+// Reportf records a finding at pos unless a matching suppression directive
+// covers that line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Prog.Fset.Position(pos)
+	if dir, ok := suppressDirective[p.Analyzer.Name]; ok {
+		if p.Prog.suppressed(dir, position.Filename, position.Line) {
+			return
+		}
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     position,
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Directive names. DirNoalloc is a marker consumed by the noalloc analyzer;
+// the rest are per-line suppressions.
+const (
+	DirNoalloc = "noalloc"
+	DirAlloc   = "alloc"
+	DirFloatEq = "floateq"
+	DirNonDet  = "nondet"
+	DirErrOK   = "errok"
+)
+
+// suppressDirective maps an analyzer to the directive that silences it.
+var suppressDirective = map[string]string{
+	"noalloc":     DirAlloc,
+	"floatcmp":    DirFloatEq,
+	"determinism": DirNonDet,
+	"errcheck":    DirErrOK,
+}
+
+// knownDirectives is every accepted //sapla: directive and whether it
+// requires a reason.
+var knownDirectives = map[string]bool{
+	DirNoalloc: false,
+	DirAlloc:   true,
+	DirFloatEq: true,
+	DirNonDet:  true,
+	DirErrOK:   true,
+}
+
+// directive is one parsed //sapla: comment.
+type directive struct {
+	name   string
+	reason string
+	pos    token.Pos
+	// line the directive applies to (its own line when trailing code, the
+	// next line when alone on a line).
+	appliesTo int
+}
+
+// parseDirectives extracts every //sapla: directive from a file. src is the
+// file's raw bytes, used to decide whether a directive trails code.
+func parseDirectives(fset *token.FileSet, file *ast.File, src []byte) []directive {
+	var out []directive
+	for _, group := range file.Comments {
+		for _, c := range group.List {
+			rest, ok := strings.CutPrefix(c.Text, "//sapla:")
+			if !ok {
+				continue
+			}
+			name, reason, _ := strings.Cut(rest, " ")
+			pos := fset.Position(c.Pos())
+			d := directive{
+				name:      name,
+				reason:    strings.TrimSpace(reason),
+				pos:       c.Pos(),
+				appliesTo: pos.Line,
+			}
+			if !trailsCode(src, pos) {
+				d.appliesTo = pos.Line + 1
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// trailsCode reports whether anything other than whitespace precedes the
+// position on its line.
+func trailsCode(src []byte, pos token.Position) bool {
+	// Walk back from the comment's byte offset to the preceding newline.
+	for i := pos.Offset - 1; i >= 0; i-- {
+		switch src[i] {
+		case '\n':
+			return false
+		case ' ', '\t', '\r':
+			continue
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// suppressed reports whether a directive of the given name covers file:line.
+func (prog *Program) suppressed(name, file string, line int) bool {
+	return prog.suppress[suppressKey{name: name, file: file, line: line}]
+}
+
+type suppressKey struct {
+	name string
+	file string
+	line int
+}
+
+// indexDirectives builds the suppression index and validates directive use,
+// reporting malformed directives under the "directive" check.
+func (prog *Program) indexDirectives() []Diagnostic {
+	var diags []Diagnostic
+	prog.suppress = make(map[suppressKey]bool)
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			src := prog.sources[prog.Fset.Position(file.Pos()).Filename]
+			docPositions := funcDocRanges(file)
+			for _, d := range parseDirectives(prog.Fset, file, src) {
+				pos := prog.Fset.Position(d.pos)
+				needsReason, known := knownDirectives[d.name]
+				if !known {
+					diags = append(diags, Diagnostic{
+						Pos:   pos,
+						Check: "directive",
+						Message: fmt.Sprintf("unknown directive //sapla:%s (known: alloc, errok, floateq, nondet, noalloc)",
+							d.name),
+					})
+					continue
+				}
+				if needsReason && d.reason == "" {
+					diags = append(diags, Diagnostic{
+						Pos:   pos,
+						Check: "directive",
+						Message: fmt.Sprintf("//sapla:%s needs a reason: say why the exception is sound",
+							d.name),
+					})
+					continue
+				}
+				if d.name == DirNoalloc {
+					if !inRanges(docPositions, d.pos) {
+						diags = append(diags, Diagnostic{
+							Pos:     pos,
+							Check:   "directive",
+							Message: "//sapla:noalloc must appear in a function declaration's doc comment",
+						})
+					}
+					continue
+				}
+				prog.suppress[suppressKey{name: d.name, file: pos.Filename, line: d.appliesTo}] = true
+			}
+		}
+	}
+	return diags
+}
+
+// posRange is a half-open position interval.
+type posRange struct{ lo, hi token.Pos }
+
+// funcDocRanges returns the position ranges of every function declaration's
+// doc comment group in the file.
+func funcDocRanges(file *ast.File) []posRange {
+	var out []posRange
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+			out = append(out, posRange{lo: fd.Doc.Pos(), hi: fd.Doc.End()})
+		}
+	}
+	return out
+}
+
+func inRanges(rs []posRange, p token.Pos) bool {
+	for _, r := range rs {
+		if p >= r.lo && p <= r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzers returns the analyzers with the given names, or every analyzer
+// when no names are given. Unknown names are an error.
+func Analyzers(names ...string) ([]*Analyzer, error) {
+	all := []*Analyzer{
+		NoallocAnalyzer,
+		LockguardAnalyzer,
+		FloatcmpAnalyzer,
+		DeterminismAnalyzer,
+		ErrcheckAnalyzer,
+	}
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown check %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run validates //sapla: directives and runs each analyzer over every
+// requested package, returning findings sorted by position.
+func (prog *Program) Run(analyzers []*Analyzer) []Diagnostic {
+	diags := prog.indexDirectives()
+	for _, pkg := range prog.Pkgs {
+		if !pkg.Analyze {
+			continue
+		}
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, diags: &diags}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	// Drop exact duplicates (one construct can be reached by two walks).
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package lint_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"sapla/internal/lint"
+)
+
+// want is one expectation parsed from a fixture's "// want" comment.
+type want struct {
+	file    string
+	line    int
+	raw     string
+	re      *regexp.Regexp
+	matched bool
+}
+
+// quotedRe extracts the quoted regexes of a want comment.
+var quotedRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// parseWants collects every // want "regex" expectation in the fixture
+// directory. A line may carry several quoted regexes for several findings.
+func parseWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		abs, err := filepath.Abs(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, rest, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			for _, m := range quotedRe.FindAllStringSubmatch(rest, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regex %q: %v", path, i+1, m[1], err)
+				}
+				wants = append(wants, &want{file: abs, line: i + 1, raw: m[1], re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture loads one testdata package, runs the named checks and matches
+// the diagnostics against the fixture's // want comments: every diagnostic
+// must match a want on its line, and every want must be matched.
+func runFixture(t *testing.T, fixture string, checks ...string) {
+	t.Helper()
+	analyzers, err := lint.Analyzers(checks...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lint.Load(".", []string{"./internal/lint/testdata/src/" + fixture})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := prog.Run(analyzers)
+	wants := parseWants(t, filepath.Join("testdata", "src", fixture))
+
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func TestNoalloc(t *testing.T)     { runFixture(t, "noalloc", "noalloc") }
+func TestLockguard(t *testing.T)   { runFixture(t, "lockguard", "lockguard") }
+func TestFloatcmp(t *testing.T)    { runFixture(t, "floatcmp", "floatcmp") }
+func TestDeterminism(t *testing.T) { runFixture(t, "eval", "determinism") }
+func TestErrcheck(t *testing.T)    { runFixture(t, "errcheck", "errcheck") }
+
+// TestDirectiveValidation asserts the malformed-directive diagnostics of the
+// directive fixture programmatically: several point at full-line comments
+// that cannot carry a trailing want comment.
+func TestDirectiveValidation(t *testing.T) {
+	analyzers, err := lint.Analyzers("floatcmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lint.Load(".", []string{"./internal/lint/testdata/src/directive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := prog.Run(analyzers)
+
+	expect := []struct {
+		line    int
+		check   string
+		message string
+	}{
+		{11, "directive", "unknown directive //sapla:bogus"},
+		{17, "floatcmp", "floating-point == comparison"},
+		{17, "directive", "//sapla:floateq needs a reason"},
+		{21, "directive", "//sapla:noalloc must appear in a function declaration's doc comment"},
+	}
+	if len(diags) != len(expect) {
+		var got []string
+		for _, d := range diags {
+			got = append(got, d.String())
+		}
+		t.Fatalf("got %d diagnostics, expected %d:\n%s", len(diags), len(expect), strings.Join(got, "\n"))
+	}
+	for i, e := range expect {
+		d := diags[i]
+		if d.Pos.Line != e.line || d.Check != e.check || !strings.Contains(d.Message, e.message) {
+			t.Errorf("diagnostic %d: got %s, expected line %d check %s message containing %q",
+				i, d, e.line, e.check, e.message)
+		}
+	}
+}
+
+// TestRepoIsClean is the contract the repo itself must keep: every analyzer
+// over every package, zero findings. A failure here is a genuine regression
+// (or a missing, justified //sapla: annotation).
+func TestRepoIsClean(t *testing.T) {
+	analyzers, err := lint.Analyzers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lint.Load(".", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := prog.Run(analyzers)
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestUnknownCheck pins the error for a bad -checks value.
+func TestUnknownCheck(t *testing.T) {
+	if _, err := lint.Analyzers("nope"); err == nil {
+		t.Fatal("expected an error for an unknown check name")
+	}
+}
+
+// TestDiagnosticString pins the canonical rendering used by cmd/sapla-lint.
+func TestDiagnosticString(t *testing.T) {
+	d := lint.Diagnostic{Check: "noalloc", Message: "boom"}
+	d.Pos.Filename = "a.go"
+	d.Pos.Line = 3
+	d.Pos.Column = 7
+	if got, wantS := d.String(), "a.go:3:7: [noalloc] boom"; got != wantS {
+		t.Fatalf("got %q, want %q", got, wantS)
+	}
+}
+
+// TestLoadRejectsMissingDir pins the explicit-pattern error path.
+func TestLoadRejectsMissingDir(t *testing.T) {
+	if _, err := lint.Load(".", []string{"./internal/lint/testdata/src/definitely-absent"}); err == nil {
+		t.Fatal("expected an error for a pattern with no Go files")
+	}
+}
+
+func ExampleDiagnostic_String() {
+	d := lint.Diagnostic{Check: "floatcmp", Message: "floating-point == comparison"}
+	d.Pos.Filename = "dist.go"
+	d.Pos.Line = 42
+	d.Pos.Column = 9
+	fmt.Println(d)
+	// Output: dist.go:42:9: [floatcmp] floating-point == comparison
+}

@@ -1,0 +1,396 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockguardAnalyzer enforces the struct-layout locking convention the
+// concurrent types (index.ConcurrentIndex, server.Server) follow: fields
+// declared after a sync.Mutex/sync.RWMutex field — up to the next mutex
+// field — are guarded by it, and may only be touched in methods that hold
+// that mutex on the path to the access. Writes require the exclusive lock;
+// reads accept either Lock or RLock.
+//
+// The analysis is a forward flow over each method body: Lock/RLock on the
+// receiver's mutex marks it held, Unlock/RUnlock releases it, and a lock
+// acquired inside a branch does not leak past the branch. Methods whose name
+// ends in "Locked" are exempt by convention (the caller holds the lock), as
+// are non-method functions (constructors initialize fields before the value
+// is shared).
+var LockguardAnalyzer = &Analyzer{
+	Name: "lockguard",
+	Doc:  "require methods to hold a struct's mutex when touching the fields declared after it",
+	Run:  runLockguard,
+}
+
+// lockKind is how a mutex is currently held.
+type lockKind int
+
+const (
+	lockNone lockKind = iota
+	lockShared
+	lockExclusive
+)
+
+// guardGroups maps each guarded field of a struct to its mutex field.
+// Field order defines ownership: a mutex guards the fields that follow it
+// until the next mutex field.
+func guardGroups(st *types.Struct) map[*types.Var]*types.Var {
+	var current *types.Var
+	groups := make(map[*types.Var]*types.Var)
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if isMutexType(f.Type()) {
+			current = f
+			continue
+		}
+		if current != nil {
+			groups[f] = current
+		}
+	}
+	if len(groups) == 0 {
+		return nil
+	}
+	return groups
+}
+
+// isMutexType reports whether t is sync.Mutex, sync.RWMutex or a pointer to
+// one.
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+func runLockguard(p *Pass) {
+	info := p.Pkg.Info
+
+	// Guarded field layouts for every struct type declared in this package.
+	byStruct := make(map[*types.TypeName]map[*types.Var]*types.Var)
+	scope := p.Pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		if g := guardGroups(st); g != nil {
+			byStruct[tn] = g
+		}
+	}
+	if len(byStruct) == 0 {
+		return
+	}
+
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue // convention: caller holds the lock
+			}
+			recvField := fd.Recv.List[0]
+			if len(recvField.Names) == 0 {
+				continue // unnamed receiver: no field access possible
+			}
+			recv, ok := info.Defs[recvField.Names[0]].(*types.Var)
+			if !ok {
+				continue
+			}
+			guards := guardsForReceiver(recv.Type(), byStruct)
+			if guards == nil {
+				continue
+			}
+			lg := &lockguardWalker{pass: p, recv: recv, guards: guards, method: fd.Name.Name}
+			lg.stmts(fd.Body.List, map[*types.Var]lockKind{})
+		}
+	}
+}
+
+// guardsForReceiver finds the guard layout for a method receiver type.
+func guardsForReceiver(t types.Type, byStruct map[*types.TypeName]map[*types.Var]*types.Var) map[*types.Var]*types.Var {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return byStruct[named.Obj()]
+}
+
+// lockguardWalker carries the per-method analysis state.
+type lockguardWalker struct {
+	pass   *Pass
+	recv   *types.Var
+	guards map[*types.Var]*types.Var // guarded field -> mutex field
+	method string
+}
+
+// stmts walks a statement list, threading the held-lock state forward.
+// Sub-blocks (branches, loops) run on a copy: a lock taken inside a branch
+// is not assumed held after it.
+func (lg *lockguardWalker) stmts(list []ast.Stmt, held map[*types.Var]lockKind) {
+	for _, stmt := range list {
+		lg.stmt(stmt, held)
+	}
+}
+
+func (lg *lockguardWalker) stmt(stmt ast.Stmt, held map[*types.Var]lockKind) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if mu, kind := lg.lockCall(s.X); mu != nil {
+			if kind == lockNone {
+				delete(held, mu)
+			} else {
+				held[mu] = kind
+			}
+			return
+		}
+		lg.exprs(s.X, held)
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held through the rest of the
+		// method; any other deferred call is analyzed as an expression.
+		if mu, kind := lg.lockCall(s.Call); mu != nil && kind == lockNone {
+			return
+		}
+		lg.exprs(s.Call, held)
+	case *ast.BlockStmt:
+		lg.stmts(s.List, copyHeld(held))
+	case *ast.IfStmt:
+		if s.Init != nil {
+			lg.stmt(s.Init, held)
+		}
+		lg.exprs(s.Cond, held)
+		lg.stmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			lg.stmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			lg.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			lg.exprs(s.Cond, held)
+		}
+		inner := copyHeld(held)
+		if s.Post != nil {
+			lg.stmt(s.Post, inner)
+		}
+		lg.stmts(s.Body.List, inner)
+	case *ast.RangeStmt:
+		lg.exprs(s.X, held)
+		lg.stmts(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			lg.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			lg.exprs(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				lg.exprs(e, held)
+			}
+			lg.stmts(cc.Body, copyHeld(held))
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			lg.stmt(s.Init, held)
+		}
+		lg.stmt(s.Assign, held)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			lg.stmts(cc.Body, copyHeld(held))
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			inner := copyHeld(held)
+			if cc.Comm != nil {
+				lg.stmt(cc.Comm, inner)
+			}
+			lg.stmts(cc.Body, inner)
+		}
+	case *ast.LabeledStmt:
+		lg.stmt(s.Stmt, held)
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			lg.access(lhs, held, true)
+		}
+		for _, rhs := range s.Rhs {
+			lg.exprs(rhs, held)
+		}
+	case *ast.IncDecStmt:
+		lg.access(s.X, held, true)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			lg.exprs(e, held)
+		}
+	case *ast.GoStmt:
+		lg.exprs(s.Call, held)
+	case *ast.SendStmt:
+		lg.exprs(s.Chan, held)
+		lg.exprs(s.Value, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						lg.exprs(v, held)
+					}
+				}
+			}
+		}
+	}
+}
+
+// lockCall matches recv.mu.Lock()/RLock()/Unlock()/RUnlock() on a guarding
+// mutex field of the receiver, returning the mutex and the resulting state
+// (lockNone means a release).
+func (lg *lockguardWalker) lockCall(e ast.Expr) (*types.Var, lockKind) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, lockNone
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, lockNone
+	}
+	mu := lg.receiverMutex(sel.X)
+	if mu == nil {
+		return nil, lockNone
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		return mu, lockExclusive
+	case "RLock":
+		return mu, lockShared
+	case "Unlock", "RUnlock":
+		return mu, lockNone
+	}
+	return nil, lockNone
+}
+
+// receiverMutex resolves recv.mu to the mutex field when mu guards fields of
+// the receiver's struct.
+func (lg *lockguardWalker) receiverMutex(e ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || lg.pass.Pkg.Info.Uses[id] != lg.recv {
+		return nil
+	}
+	field, ok := lg.pass.Pkg.Info.Uses[sel.Sel].(*types.Var)
+	if !ok {
+		return nil
+	}
+	for _, mu := range lg.guards {
+		if mu == field {
+			return field
+		}
+	}
+	return nil
+}
+
+// exprs checks every guarded-field read inside an expression tree. Function
+// literal bodies are analyzed with no locks held: the closure may run after
+// the method returns.
+func (lg *lockguardWalker) exprs(e ast.Expr, held map[*types.Var]lockKind) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lg.stmts(n.Body.List, map[*types.Var]lockKind{})
+			return false
+		case *ast.CallExpr:
+			// delete(recv.field, k) mutates the guarded map.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) > 0 {
+				if b, ok := lg.pass.Pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "delete" {
+					if sel, ok := ast.Unparen(n.Args[0]).(*ast.SelectorExpr); ok {
+						lg.checkAccess(sel, held, true)
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			lg.checkAccess(n, held, false)
+		}
+		return true
+	})
+}
+
+// access classifies one lvalue: assignments to recv.field, recv.field[i] and
+// delete(recv.field, k) mutate guarded state and need the exclusive lock.
+func (lg *lockguardWalker) access(e ast.Expr, held map[*types.Var]lockKind, write bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		lg.checkAccess(x, held, write)
+		lg.exprs(x.X, held)
+	case *ast.IndexExpr:
+		if sel, ok := ast.Unparen(x.X).(*ast.SelectorExpr); ok {
+			lg.checkAccess(sel, held, write)
+		} else {
+			lg.exprs(x.X, held)
+		}
+		lg.exprs(x.Index, held)
+	default:
+		lg.exprs(e, held)
+	}
+}
+
+// checkAccess reports a guarded-field access made without the required lock.
+func (lg *lockguardWalker) checkAccess(sel *ast.SelectorExpr, held map[*types.Var]lockKind, write bool) {
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok || lg.pass.Pkg.Info.Uses[id] != lg.recv {
+		return
+	}
+	field, ok := lg.pass.Pkg.Info.Uses[sel.Sel].(*types.Var)
+	if !ok {
+		return
+	}
+	mu, guarded := lg.guards[field]
+	if !guarded {
+		return
+	}
+	kind := held[mu]
+	if kind == lockNone {
+		lg.pass.Reportf(sel.Sel.Pos(),
+			"%s: field %s is guarded by %s but accessed without holding it",
+			lg.method, field.Name(), mu.Name())
+		return
+	}
+	if write && kind == lockShared {
+		lg.pass.Reportf(sel.Sel.Pos(),
+			"%s: field %s is guarded by %s but written while holding only the read lock",
+			lg.method, field.Name(), mu.Name())
+	}
+}
+
+func copyHeld(held map[*types.Var]lockKind) map[*types.Var]lockKind {
+	out := make(map[*types.Var]lockKind, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}

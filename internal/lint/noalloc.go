@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NoallocAnalyzer enforces the zero-allocation contract on the hot paths.
+// Functions annotated //sapla:noalloc — the SAPLA reduction kernel, the
+// distance workspace, the k-NN searches and the priority-queue operations —
+// and every same-package function they statically call are checked for
+// allocating constructs: make/new, heap-bound composite literals, append,
+// string concatenation, fmt calls, conversions that box a value into an
+// interface, and closure creation. Deliberate allocations (amortized buffer
+// growth, cold error paths) carry a //sapla:alloc <reason> line directive.
+//
+// Calls through interfaces, function values and other packages are not
+// followed; the benchmark-regression harness (make benchdiff) remains the
+// end-to-end allocation check, this analyzer catches regressions at the
+// source level before they reach a benchmark run.
+var NoallocAnalyzer = &Analyzer{
+	Name: "noalloc",
+	Doc:  "flag allocating constructs in //sapla:noalloc functions and their same-package callees",
+	Run:  runNoalloc,
+}
+
+func runNoalloc(p *Pass) {
+	info := p.Pkg.Info
+
+	// Collect this package's function bodies and the annotated roots.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	var roots []*types.Func
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			if hasDirective(fd.Doc, DirNoalloc) {
+				roots = append(roots, fn)
+			}
+		}
+	}
+
+	// Walk the same-package static call closure of the roots, remembering
+	// which root pulled each function in (for the message).
+	rootOf := make(map[*types.Func]*types.Func)
+	var queue []*types.Func
+	for _, r := range roots {
+		rootOf[r] = r
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		fd := decls[fn]
+		checkNoalloc(p, fd, fn, rootOf[fn])
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := staticCallee(info, call)
+			if callee == nil {
+				return true
+			}
+			if _, local := decls[callee]; !local {
+				return true
+			}
+			if _, seen := rootOf[callee]; !seen {
+				rootOf[callee] = rootOf[fn]
+				queue = append(queue, callee)
+			}
+			return true
+		})
+	}
+}
+
+// hasDirective reports whether the comment group contains //sapla:<name>.
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//sapla:")
+		if !ok {
+			continue
+		}
+		first, _, _ := strings.Cut(rest, " ")
+		if first == name {
+			return true
+		}
+	}
+	return false
+}
+
+// staticCallee resolves a call to the *types.Func it statically invokes:
+// package-level functions and concrete methods resolve; interface methods,
+// function values and builtins do not.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil
+			}
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+				return nil
+			}
+			return fn
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn // qualified cross-package call
+		}
+	}
+	return nil
+}
+
+// checkNoalloc flags allocating constructs in one function body.
+func checkNoalloc(p *Pass, fd *ast.FuncDecl, fn, root *types.Func) {
+	info := p.Pkg.Info
+	where := ""
+	if root != fn {
+		where = " (in the //sapla:noalloc closure of " + root.Name() + ")"
+	}
+	report := func(pos token.Pos, what string) {
+		p.Reportf(pos, "%s must not allocate%s: %s", fn.Name(), where, what)
+	}
+
+	addressed := make(map[*ast.CompositeLit]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			if lit, ok := ast.Unparen(u.X).(*ast.CompositeLit); ok {
+				addressed[lit] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkNoallocCall(p, info, n, report)
+		case *ast.CompositeLit:
+			tv, ok := info.Types[n]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice:
+				report(n.Pos(), "slice literal allocates its backing array")
+			case *types.Map:
+				report(n.Pos(), "map literal allocates")
+			default:
+				if addressed[n] {
+					report(n.Pos(), "address-taken composite literal escapes to the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(info, n.X) {
+				report(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.FuncLit:
+			report(n.Pos(), "closure creation allocates")
+			return false // the closure body runs under its own rules
+		case *ast.GoStmt:
+			report(n.Pos(), "goroutine launch allocates a stack")
+		}
+		return true
+	})
+}
+
+// checkNoallocCall flags allocating calls: make/new/append builtins, fmt.*,
+// and conversions that box a concrete value into an interface.
+func checkNoallocCall(p *Pass, info *types.Info, call *ast.CallExpr, report func(token.Pos, string)) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "make allocates")
+			case "new":
+				report(call.Pos(), "new allocates")
+			case "append":
+				report(call.Pos(), "append may grow its backing array")
+			}
+			return
+		}
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				report(call.Pos(), "fmt."+fun.Sel.Name+" allocates")
+				return
+			}
+		}
+	}
+	// Conversion T(x) where T is an interface and x is concrete: boxes.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if types.IsInterface(tv.Type) && !types.IsInterface(info.Types[call.Args[0]].Type) {
+			report(call.Pos(), "conversion boxes a value into an interface")
+		}
+	}
+}
+
+// isStringExpr reports whether the expression's type is a string.
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

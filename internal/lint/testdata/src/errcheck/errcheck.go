@@ -1,0 +1,36 @@
+// Package errcheck exercises the dropped-error analyzer.
+package errcheck
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var errBoom = errors.New("boom")
+
+func fail() error { return errBoom }
+
+func pair() (int, error) { return 0, errBoom }
+
+func value() int { return 1 }
+
+func drop() {
+	fail() // want "error result of fail is dropped; handle it, assign to _, or annotate //sapla:errok"
+	pair() // want "error result of pair is dropped; handle it, assign to _, or annotate //sapla:errok"
+}
+
+func handled() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	_ = fail()
+	fail() //sapla:errok this fixture line demonstrates the annotation escape
+	value()
+	return nil
+}
+
+func exempt(sb *strings.Builder) {
+	fmt.Println("ok")    // fmt print calls are exempt
+	sb.WriteString("ok") // strings.Builder cannot fail
+}

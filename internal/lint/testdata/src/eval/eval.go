@@ -1,0 +1,58 @@
+// Package eval exercises the determinism analyzer; the fixture directory is
+// named eval so its import path falls inside the determinism contract.
+package eval
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // want "time.Now in deterministic package; results must not depend on the wall clock"
+}
+
+func noise() float64 {
+	return rand.Float64() // want "math/rand use in deterministic package; results must not depend on randomness"
+}
+
+func seeded(n int) *rand.Rand {
+	return rand.New(rand.NewSource(int64(n))) //sapla:nondet fixed seed keeps the fixture reproducible
+}
+
+func fold(m map[string]float64) (float64, []string, int, map[string]int) {
+	var sum float64
+	var keys []string
+	var count int
+	hist := make(map[string]int)
+	for k, v := range m {
+		sum += v               // want "floating-point accumulation into sum under map iteration is order-dependent"
+		keys = append(keys, k) // want "append to keys under map iteration produces a nondeterministic element order"
+		count++                // integer counter: order-independent
+		hist[k]++              // keyed map write: order-independent
+	}
+	return sum, keys, count, hist
+}
+
+func lastWins(m map[string]int) string {
+	var last string
+	for k := range m {
+		last = k // want "assignment to last under map iteration depends on iteration order"
+	}
+	return last
+}
+
+func scatter(m map[int]int, out []int) {
+	i := 0
+	for range m {
+		out[i] = i // want "write into out under map iteration depends on iteration order"
+		i++
+	}
+}
+
+func overSlice(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs { // slice range: iteration order is fixed
+		sum += v
+	}
+	return sum
+}

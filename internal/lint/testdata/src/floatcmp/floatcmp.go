@@ -1,0 +1,22 @@
+// Package floatcmp exercises the float-equality analyzer.
+package floatcmp
+
+func eq(a, b float64) bool {
+	return a == b // want "floating-point == comparison; compare with a tolerance or annotate //sapla:floateq"
+}
+
+func neq(a, b float32) bool {
+	return a != b // want "floating-point != comparison; compare with a tolerance or annotate //sapla:floateq"
+}
+
+func mixed(a float64, b int) bool {
+	return a == float64(b) // want "floating-point == comparison"
+}
+
+func ints(a, b int) bool { return a == b }
+
+func ordered(a, b float64) bool { return a < b }
+
+func sentinel(a float64) bool {
+	return a == 0 //sapla:floateq zero is an exact sentinel in this fixture
+}

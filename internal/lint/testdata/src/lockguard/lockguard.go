@@ -1,0 +1,64 @@
+// Package lockguard exercises the lockguard analyzer: fields declared after
+// a mutex field are guarded by it until the next mutex field.
+package lockguard
+
+import "sync"
+
+type counter struct {
+	name string // declared before the mutex: unguarded
+	mu   sync.RWMutex
+	n    int
+	last string
+}
+
+// New is a non-method constructor: outside the locking contract.
+func New(name string) *counter {
+	return &counter{name: name}
+}
+
+// Add writes under the exclusive lock.
+func (c *counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+}
+
+// Peek reads under the shared lock.
+func (c *counter) Peek() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+// Name reads an unguarded field; no lock needed.
+func (c *counter) Name() string { return c.name }
+
+// Racy reads a guarded field without any lock.
+func (c *counter) Racy() int {
+	return c.n // want "Racy: field n is guarded by mu but accessed without holding it"
+}
+
+// WriteUnderRead mutates while holding only the read lock.
+func (c *counter) WriteUnderRead(d int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.n += d // want "WriteUnderRead: field n is guarded by mu but written while holding only the read lock"
+}
+
+// BranchLocal acquires the lock inside one branch only; the access after
+// the branch is unprotected on the fall-through path.
+func (c *counter) BranchLocal(b bool) {
+	if b {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}
+	c.last = "x" // want "BranchLocal: field last is guarded by mu but accessed without holding it"
+}
+
+// resetLocked relies on the caller holding the lock; the Locked suffix
+// exempts it by convention.
+func (c *counter) resetLocked() {
+	c.n = 0
+	c.last = ""
+}

@@ -1,0 +1,66 @@
+// Package noalloc exercises the noalloc analyzer: //sapla:noalloc roots,
+// the same-package call closure, each allocating construct, and the
+// //sapla:alloc escape.
+package noalloc
+
+import "fmt"
+
+type point struct{ x, y int }
+
+type workspace struct {
+	results []int
+}
+
+// KNNWith mirrors the real hot path: re-introducing a raw append into the
+// search loop is exactly the regression the analyzer exists to catch.
+//
+//sapla:noalloc
+func (w *workspace) KNNWith(k int) []int {
+	w.results = w.results[:0]
+	for i := 0; i < k; i++ {
+		w.results = append(w.results, i) // want "append may grow its backing array"
+	}
+	return drain(w.results)
+}
+
+// drain is unannotated but reached through KNNWith's call closure.
+func drain(in []int) []int {
+	out := make([]int, len(in)) // want "drain must not allocate \(in the //sapla:noalloc closure of KNNWith\): make allocates"
+	copy(out, in)
+	return out
+}
+
+// constructs demonstrates the remaining allocating constructs.
+//
+//sapla:noalloc
+func constructs(name string, x int) {
+	p := new(int) // want "new allocates"
+	_ = p
+	s := []int{x} // want "slice literal allocates its backing array"
+	_ = s
+	m := map[int]int{x: x} // want "map literal allocates"
+	_ = m
+	_ = fmt.Sprint(x)  // want "fmt.Sprint allocates"
+	_ = name + name    // want "string concatenation allocates"
+	pt := &point{x, x} // want "address-taken composite literal escapes to the heap"
+	_ = pt
+	f := func() int { return x } // want "closure creation allocates"
+	_ = f()
+	_ = any(x) // want "conversion boxes a value into an interface"
+	go spin()  // want "goroutine launch allocates a stack"
+}
+
+// spin is reached through the closure of constructs and allocates nothing.
+func spin() {}
+
+// warm demonstrates the sanctioned escape for amortised buffer growth.
+//
+//sapla:noalloc
+func (w *workspace) warm(x int) {
+	w.results = append(w.results, x) //sapla:alloc amortised growth of the reused buffer
+}
+
+// cold is not annotated and not reachable from a root: free to allocate.
+func cold(n int) []int {
+	return make([]int, n)
+}

@@ -18,7 +18,7 @@ func SumAbsLine(p, q float64, l int) float64 {
 		n := hi - lo
 		return p*(lo+hi-1)*n/2 + q*n
 	}
-	if p == 0 {
+	if p == 0 { //sapla:floateq exactly-zero slope selects the closed form before dividing by p
 		return math.Abs(q) * fl
 	}
 	root := -q / p
@@ -26,7 +26,7 @@ func SumAbsLine(p, q float64, l int) float64 {
 		return math.Abs(sum(0, fl))
 	}
 	k := math.Ceil(root)
-	if k == root {
+	if k == root { //sapla:floateq math.Ceil returns root exactly when root is integral; that case must shift the split point
 		k++ // the root itself contributes zero; keep ranges non-empty
 	}
 	if k >= fl {

@@ -24,7 +24,7 @@ type errorResponse struct {
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
+	json.NewEncoder(w).Encode(v) //sapla:errok status line already sent; a failed write means the client went away
 }
 
 // writeErr writes a JSON error body.

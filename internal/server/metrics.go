@@ -237,7 +237,7 @@ func (s *Server) metricsHandler(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(doc)
+	enc.Encode(doc) //sapla:errok status line already sent; a failed write means the client went away
 }
 
 // mustJSON marshals v, which is built from plain maps and numbers and

@@ -442,3 +442,61 @@ func TestRequestTimeout(t *testing.T) {
 		t.Fatalf("timeout request returned %d, want 503", resp.StatusCode)
 	}
 }
+
+// TestServerIngestEdgeCases drives the tsio.ValidateSeries edge cases
+// through the ingest handler: payloads over the body limit are rejected
+// with 413 before any decoding, non-finite values cannot even be expressed
+// in a JSON document, and a length-1 series passes validation but fails
+// reduction with a client error rather than a 500.
+func TestServerIngestEdgeCases(t *testing.T) {
+	_, hs := newTestServer(t, Config{M: 12, MaxBodyBytes: 4096})
+	client := hs.Client()
+
+	t.Run("oversized payload", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(9))
+		big := map[string]any{"values": randWalk(rng, 4096)} // ~4096 numbers >> 4 KiB encoded
+		var errResp errorResponse
+		code := doJSON(t, client, "POST", hs.URL+"/v1/ingest", big, &errResp)
+		if code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("oversized ingest returned %d, want 413", code)
+		}
+		if !strings.Contains(errResp.Error, "exceeds 4096 bytes") {
+			t.Errorf("413 body %q does not name the limit", errResp.Error)
+		}
+	})
+
+	t.Run("non-finite values are not JSON", func(t *testing.T) {
+		for _, body := range []string{
+			`{"values":[NaN]}`,
+			`{"values":[1,Infinity]}`,
+			`{"values":[-Infinity,2]}`,
+		} {
+			resp, err := client.Post(hs.URL+"/v1/ingest", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("ingest of %s returned %d, want 400", body, resp.StatusCode)
+			}
+		}
+	})
+
+	t.Run("length-1 series", func(t *testing.T) {
+		var errResp errorResponse
+		code := doJSON(t, client, "POST", hs.URL+"/v1/ingest", map[string]any{"values": []float64{1}}, &errResp)
+		if code != http.StatusBadRequest {
+			t.Fatalf("length-1 ingest returned %d, want 400", code)
+		}
+		if !strings.Contains(errResp.Error, "reduce:") {
+			t.Errorf("length-1 rejection %q should come from the reducer, not validation", errResp.Error)
+		}
+	})
+
+	t.Run("empty values object", func(t *testing.T) {
+		code := doJSON(t, client, "POST", hs.URL+"/v1/ingest", map[string]any{"values": []float64{}}, nil)
+		if code != http.StatusBadRequest {
+			t.Fatalf("empty ingest returned %d, want 400", code)
+		}
+	})
+}

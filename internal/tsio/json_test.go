@@ -2,8 +2,10 @@ package tsio
 
 import (
 	"encoding/json"
+	"errors"
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 
 	"sapla/internal/repr"
@@ -55,16 +57,39 @@ func TestUnmarshalRepresentationRejectsGarbage(t *testing.T) {
 }
 
 func TestValidateSeries(t *testing.T) {
-	if err := ValidateSeries(ts.Series{1, 2, 3}); err != nil {
-		t.Errorf("valid series rejected: %v", err)
+	cases := []struct {
+		name string
+		s    ts.Series
+		ok   bool
+	}{
+		{"valid", ts.Series{1, 2, 3}, true},
+		{"length-1", ts.Series{42}, true},
+		{"nil", nil, false},
+		{"empty non-nil", ts.Series{}, false},
+		{"NaN", ts.Series{1, math.NaN()}, false},
+		{"+Inf", ts.Series{math.Inf(1)}, false},
+		{"-Inf", ts.Series{0, -1, math.Inf(-1)}, false},
+		{"NaN after valid prefix", ts.Series{1, 2, 3, math.NaN(), 5}, false},
+		{"extremes are finite", ts.Series{math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64}, true},
 	}
-	if err := ValidateSeries(nil); err == nil {
-		t.Error("empty series accepted")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateSeries(tc.s)
+			if tc.ok && err != nil {
+				t.Errorf("ValidateSeries(%v) = %v, want nil", tc.s, err)
+			}
+			if !tc.ok && err == nil {
+				t.Errorf("ValidateSeries(%v) = nil, want error", tc.s)
+			}
+		})
 	}
-	if err := ValidateSeries(ts.Series{1, math.NaN()}); err == nil {
-		t.Error("NaN accepted")
+
+	// Empty input maps onto the sentinel; non-finite errors name the offender.
+	if err := ValidateSeries(nil); !errors.Is(err, ErrEmptyInput) {
+		t.Errorf("ValidateSeries(nil) = %v, want ErrEmptyInput", err)
 	}
-	if err := ValidateSeries(ts.Series{math.Inf(1)}); err == nil {
-		t.Error("+Inf accepted")
+	err := ValidateSeries(ts.Series{0, math.Inf(-1)})
+	if err == nil || !strings.Contains(err.Error(), "position 1") {
+		t.Errorf("ValidateSeries error %q does not name the offending position", err)
 	}
 }

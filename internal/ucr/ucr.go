@@ -112,7 +112,7 @@ func Datasets() []Dataset {
 // describe derives a dataset's family, class count and seed from its name.
 func describe(name string) Dataset {
 	h := fnv.New64a()
-	h.Write([]byte(name))
+	_, _ = h.Write([]byte(name)) // hash.Hash writes never fail
 	seed := int64(h.Sum64() & math.MaxInt64)
 	return Dataset{
 		Name:    name,
