@@ -3,13 +3,13 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all ci build test race race-short cover bench benchdiff vet lint fmtcheck fuzz experiments report clean
+.PHONY: all ci build test race race-short crash cover bench benchdiff vet lint fmtcheck fuzz experiments report clean
 
 all: build vet lint test race-short
 
 # ci mirrors .github/workflows/ci.yml step for step: the workflow shells out
 # to exactly these targets, so what passes here passes there.
-ci: build vet lint fmtcheck test race-short
+ci: build vet lint fmtcheck test race-short crash
 
 build:
 	$(GO) build ./...
@@ -38,9 +38,17 @@ race:
 
 # Race-check the packages that run concurrent hot paths (the experiment
 # pool, the batch reduction fan-out, the batch query engine / concurrent
-# index, and the HTTP service) without paying for a full -race sweep.
+# index, the HTTP service, and the WAL) without paying for a full -race
+# sweep.
 race-short:
-	$(GO) test -race ./internal/eval ./internal/index ./internal/reduce ./internal/server
+	$(GO) test -race ./internal/eval ./internal/index ./internal/reduce ./internal/server ./internal/wal
+
+# Crash-recovery property tests under the race detector, repeated: random
+# ingest/delete/snapshot interleavings are crashed (fault-injected in-memory
+# filesystem, torn tails, lost page cache) and recovered, at the WAL layer
+# and end-to-end through the HTTP service.
+crash:
+	$(GO) test -race -count=3 -run 'CrashRecovery' ./internal/wal ./internal/server
 
 cover:
 	$(GO) test -cover ./...

@@ -11,11 +11,18 @@
 //	POST   /v1/range         {"values":[...], "radius":4.2}     -> ε-range query
 //	DELETE /v1/series/{id}                                      -> remove a series
 //	GET    /healthz                                             -> liveness
-//	GET    /metrics                                             -> counters, latency histograms
+//	GET    /readyz                                              -> readiness (recovering/ready/draining)
+//	GET    /metrics                                             -> counters, latency histograms, durability
 //	GET    /debug/pprof/                                        -> runtime profiles
 //
+// With -data-dir the service is durable: every ingest/delete is appended to
+// a checksummed write-ahead log before it is acknowledged, snapshots bound
+// replay time, and startup recovers the index from disk. Overloaded endpoint
+// classes shed requests with 429 + Retry-After instead of queueing without
+// bound.
+//
 // The process exits cleanly on SIGINT/SIGTERM after draining in-flight
-// requests.
+// requests, flushing and closing the WAL.
 package main
 
 import (
@@ -45,22 +52,39 @@ func main() {
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 		grace    = flag.Duration("grace", 15*time.Second, "shutdown drain budget")
 		unsafeB  = flag.Bool("paper-bound", false, "use the paper's Section 5.3 node bound instead of the triangle-safe one (may dismiss true neighbours)")
+
+		dataDir   = flag.String("data-dir", "", "durability directory for WAL + snapshots (empty = in-memory only)")
+		syncEvery = flag.Int("sync-every", 1, "WAL group-commit batch: fsync after every N records (1 = fsync each acknowledged write)")
+		snapEvery = flag.Duration("snapshot-every", 5*time.Minute, "period of the background snapshot that bounds WAL replay time")
+
+		maxSearch = flag.Int("max-inflight-search", 256, "concurrently admitted search requests before shedding with 429")
+		maxWrite  = flag.Int("max-inflight-write", 256, "concurrently admitted write requests before shedding with 429")
 	)
 	flag.Parse()
 
 	safe := !*unsafeB
 	srv, err := server.New(server.Config{
-		Method:         *method,
-		M:              *m,
-		SafeBound:      &safe,
-		Workers:        *workers,
-		MaxK:           *maxK,
-		MaxBatch:       *maxBatch,
-		MaxBodyBytes:   *maxBody,
-		RequestTimeout: *timeout,
+		Method:            *method,
+		M:                 *m,
+		SafeBound:         &safe,
+		Workers:           *workers,
+		MaxK:              *maxK,
+		MaxBatch:          *maxBatch,
+		MaxBodyBytes:      *maxBody,
+		RequestTimeout:    *timeout,
+		DataDir:           *dataDir,
+		SyncEvery:         *syncEvery,
+		SnapshotEvery:     *snapEvery,
+		MaxInflightSearch: *maxSearch,
+		MaxInflightWrite:  *maxWrite,
 	})
 	if err != nil {
 		log.Fatalf("sapla-serve: %v", err)
+	}
+	if info, dur, durable := srv.Recovery(); durable {
+		log.Printf("sapla-serve: recovered %d series in %s (snapshot seq %d: %d series; %d WAL records replayed across %d segments, %d torn bytes truncated)",
+			srv.Index().Len(), dur.Round(time.Millisecond),
+			info.SnapshotSeq, info.SnapshotSeries, info.Replayed, info.Segments, info.TornBytes)
 	}
 
 	l, err := net.Listen("tcp", *addr)

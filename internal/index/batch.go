@@ -1,12 +1,20 @@
 package index
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"sapla/internal/dist"
 )
+
+// ErrBatchCanceled is wrapped by the error BatchKNNContext returns when its
+// context expires before every query has been answered. The outputs for
+// queries that did complete stay valid; unfinished slots are zero.
+var ErrBatchCanceled = errors.New("index: batch k-NN canceled")
 
 // BatchKNN answers many k-NN queries over one index concurrently. Queries
 // are claimed from a shared atomic counter (work stealing, so skewed query
@@ -20,6 +28,15 @@ import (
 // The first error in query order aborts nothing already in flight but is
 // the one returned; out and stats stay valid for the queries that finished.
 func BatchKNN(idx Index, queries []dist.Query, k, workers int) ([][]Result, []SearchStats, error) {
+	return BatchKNNContext(context.Background(), idx, queries, k, workers)
+}
+
+// BatchKNNContext is BatchKNN with cancellation: workers re-check ctx
+// before claiming each query, so a shed or timed-out batch request stops
+// consuming CPU after at most one in-flight query per worker. When ctx
+// expires early the answered prefix of out/stats stays valid and the error
+// wraps both ErrBatchCanceled and ctx's cause.
+func BatchKNNContext(ctx context.Context, idx Index, queries []dist.Query, k, workers int) ([][]Result, []SearchStats, error) {
 	out := make([][]Result, len(queries))
 	stats := make([]SearchStats, len(queries))
 	if len(queries) == 0 {
@@ -35,6 +52,7 @@ func BatchKNN(idx Index, queries []dist.Query, k, workers int) ([][]Result, []Se
 	errs := make([]error, len(queries))
 	ws, _ := idx.(WorkspaceSearcher)
 	var next atomic.Int64
+	var done atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -46,6 +64,9 @@ func BatchKNN(idx Index, queries []dist.Query, k, workers int) ([][]Result, []Se
 				defer wsPool.Put(scratch)
 			}
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(queries) {
 					return
@@ -60,11 +81,16 @@ func BatchKNN(idx Index, queries []dist.Query, k, workers int) ([][]Result, []Se
 				} else {
 					out[i], stats[i], errs[i] = idx.KNN(queries[i], k)
 				}
+				done.Add(1)
 			}
 		}()
 	}
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil && int(done.Load()) < len(queries) {
+		return out, stats, fmt.Errorf("%w after %d of %d queries: %w",
+			ErrBatchCanceled, done.Load(), len(queries), err)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return out, stats, err

@@ -1,10 +1,13 @@
 package index
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"sort"
 	"testing"
+	"time"
 
 	"sapla/internal/core"
 	"sapla/internal/dist"
@@ -173,6 +176,69 @@ func TestBatchKNNMatchesSerialKNN(t *testing.T) {
 				if batch[qi][i] != want[i] {
 					t.Fatalf("%s q%d result %d: batch %+v, serial %+v", name, qi, i, batch[qi][i], want[i])
 				}
+			}
+		}
+	}
+}
+
+// TestBatchKNNContextCanceled: a canceled context must surface a partial-
+// results error wrapping both ErrBatchCanceled and the context's cause,
+// while every answered slot stays byte-identical to the serial API.
+func TestBatchKNNContextCanceled(t *testing.T) {
+	entries := benchEntries(t, 100, 64, 12)
+	queries := testQueries(t, 12, 64, 12)
+	idx := NewLinearScan()
+	for _, e := range entries {
+		if err := idx.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Pre-canceled: workers bail before claiming anything.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, stats, err := BatchKNNContext(ctx, idx, queries, 8, 4)
+	if !errors.Is(err, ErrBatchCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled batch: err = %v", err)
+	}
+	if len(out) != len(queries) || len(stats) != len(queries) {
+		t.Fatal("canceled batch must still return full-length output slices")
+	}
+	for qi, res := range out {
+		if res == nil {
+			continue // unanswered slot
+		}
+		want, _, err := idx.KNN(queries[qi], 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if res[i] != want[i] {
+				t.Fatalf("q%d result %d diverges from serial answer", qi, i)
+			}
+		}
+	}
+
+	// Expired deadline reports the deadline cause.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, _, err := BatchKNNContext(dctx, idx, queries, 8, 4); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: err = %v", err)
+	}
+
+	// A live context behaves exactly like BatchKNN.
+	got, _, err := BatchKNNContext(context.Background(), idx, queries, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _, err := BatchKNN(idx, queries, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range queries {
+		for i := range base[qi] {
+			if got[qi][i] != base[qi][i] {
+				t.Fatalf("q%d result %d diverges between ctx and plain batch", qi, i)
 			}
 		}
 	}

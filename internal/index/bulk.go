@@ -75,6 +75,64 @@ func (t *RTree) BulkLoad(entries []*Entry) error {
 	return nil
 }
 
+// BulkLoad packs entries into the DBCH-tree bottom-up. STR's coordinate
+// tiling has no analogue for distance-based covers, so entries are instead
+// ordered by their representation distance to a pivot (the first entry) —
+// the metric-space counterpart of a coordinate sort — and consecutive runs
+// are packed into full leaves, then consecutive nodes into parents, with the
+// exact hull/cover rebuild routines the incremental insert path uses. This
+// skips every split and branch-pick, so rebuilding an index from a recovered
+// snapshot costs O(n log n) distances instead of insertion's repeated
+// farthest-pair scans.
+func (t *DBCH) BulkLoad(entries []*Entry) error {
+	if t.root != nil {
+		return ErrNotEmpty
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	pivot := entries[0].Rep
+	type keyed struct {
+		e   *Entry
+		key float64
+	}
+	sorted := make([]keyed, len(entries))
+	for i, e := range entries {
+		sorted[i] = keyed{e: e, key: t.d(e.Rep, pivot)}
+	}
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].key < sorted[j].key })
+
+	var level []*dnode
+	for lo := 0; lo < len(sorted); lo += t.maxFill {
+		hi := lo + t.maxFill
+		if hi > len(sorted) {
+			hi = len(sorted)
+		}
+		leaf := &dnode{isLeaf: true, entries: make([]*Entry, hi-lo)}
+		for i := lo; i < hi; i++ {
+			leaf.entries[i-lo] = sorted[i].e
+		}
+		t.rebuildLeafHull(leaf)
+		level = append(level, leaf)
+	}
+	for len(level) > 1 {
+		var next []*dnode
+		for lo := 0; lo < len(level); lo += t.maxFill {
+			hi := lo + t.maxFill
+			if hi > len(level) {
+				hi = len(level)
+			}
+			parent := &dnode{isLeaf: false, children: append([]*dnode(nil), level[lo:hi]...)}
+			t.rebuildInternalHull(parent)
+			next = append(next, parent)
+		}
+		level = next
+	}
+	t.root = level[0]
+	t.size = len(entries)
+	return nil
+}
+
 // topVarianceDims returns the two coefficient dimensions with the largest
 // variance across the entries.
 func topVarianceDims(entries []*Entry, dim int) (int, int) {

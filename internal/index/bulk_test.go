@@ -114,6 +114,90 @@ func TestBulkLoadErrors(t *testing.T) {
 	}
 }
 
+// TestDBCHBulkLoadMatchesKNN: a bulk-loaded DBCH-tree must answer k-NN
+// exactly like an incrementally built one (both are exact via GEMINI; only
+// the tree shape may differ), and its hulls must honour the cover invariant
+// the SafeBound pruning rule relies on.
+func TestDBCHBulkLoadMatchesKNN(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	meth := buildMethod(t, "SAPLA")
+	const n, m, count, k = 96, 12, 180, 8
+	entries := makeEntries(t, meth, rng, count, n, m)
+
+	bulk, _ := NewDBCH("SAPLA", 2, 5)
+	bulk.SafeBound = true
+	if err := bulk.BulkLoad(entries); err != nil {
+		t.Fatal(err)
+	}
+	if bulk.Len() != count {
+		t.Fatalf("Len = %d", bulk.Len())
+	}
+	s := bulk.Stats()
+	if s.Entries != count || s.LeafNodes == 0 || s.Height < 2 {
+		t.Fatalf("stats %+v", s)
+	}
+
+	// Every entry must lie within its leaf's cover radii of both hull ends,
+	// transitively bounded at internal nodes — otherwise SafeBound could
+	// dismiss true neighbours.
+	var walk func(nd *dnode) int
+	walk = func(nd *dnode) int {
+		if nd.isLeaf {
+			for _, e := range nd.entries {
+				if bulk.d(e.Rep, nd.hullU) > nd.coverU+1e-9 || bulk.d(e.Rep, nd.hullL) > nd.coverL+1e-9 {
+					t.Fatal("leaf cover radius does not contain entry")
+				}
+			}
+			return len(nd.entries)
+		}
+		var total int
+		for _, c := range nd.children {
+			total += walk(c)
+		}
+		return total
+	}
+	if walk(bulk.root) != count {
+		t.Fatal("bulk load lost entries")
+	}
+
+	for trial := 0; trial < 5; trial++ {
+		q := randWalk(rng, n)
+		qr, _ := meth.Reduce(q, m)
+		res, _, err := bulk.KNN(dist.NewQuery(q, qr), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := trueKNN(entries, q, k)
+		if ov := overlap(res, want); ov != k {
+			t.Fatalf("trial %d: %d/%d exact", trial, ov, k)
+		}
+	}
+}
+
+func TestDBCHBulkLoadErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	meth := buildMethod(t, "SAPLA")
+	entries := makeEntries(t, meth, rng, 10, 64, 8)
+	tree, _ := NewDBCH("SAPLA", 2, 5)
+	if err := tree.Insert(entries[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.BulkLoad(entries); err != ErrNotEmpty {
+		t.Fatalf("non-empty bulk load: %v", err)
+	}
+	empty, _ := NewDBCH("SAPLA", 2, 5)
+	if err := empty.BulkLoad(nil); err != nil {
+		t.Fatalf("empty bulk load: %v", err)
+	}
+	single, _ := NewDBCH("SAPLA", 2, 5)
+	if err := single.BulkLoad(entries[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if single.Len() != 1 || single.Stats().Height != 1 {
+		t.Fatalf("single entry tree: %+v", single.Stats())
+	}
+}
+
 func TestBulkLoadSingleEntry(t *testing.T) {
 	rng := rand.New(rand.NewSource(44))
 	meth := buildMethod(t, "PAA")

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"sapla/internal/index"
+	"sapla/internal/wal"
+)
+
+// openStore opens the durability layer (when configured), recovers the
+// persisted state and bulk-loads tree from it. Called from New while the
+// server is still single-goroutine, before any request can arrive.
+func (s *Server) openStore(tree *index.DBCH) error {
+	fsys := s.cfg.WALFS
+	if fsys == nil {
+		if s.cfg.DataDir == "" {
+			return nil // purely in-memory
+		}
+		dfs, err := wal.NewDirFS(s.cfg.DataDir)
+		if err != nil {
+			return fmt.Errorf("server: open data dir: %w", err)
+		}
+		fsys = dfs
+	}
+
+	start := time.Now()
+	st, series, info, err := wal.Open(fsys, wal.Options{
+		SyncEvery:   s.cfg.SyncEvery,
+		ObserveSync: s.metrics.walSync.Observe,
+	})
+	if err != nil {
+		return fmt.Errorf("server: recover: %w", err)
+	}
+
+	// Rebuild the index from the recovered series. Bulk loading skips every
+	// split and branch-pick the incremental path would pay, which keeps
+	// recovery time dominated by reduction, not tree maintenance. The lock
+	// is uncontended — no request can arrive before New returns — but the
+	// bookkeeping invariant stays uniform: guarded fields change under mu.
+	entries := make([]*index.Entry, 0, len(series))
+	s.mu.Lock()
+	for _, sr := range series {
+		rep, rerr := s.reduce(sr.Values)
+		if rerr != nil {
+			s.mu.Unlock()
+			_ = st.Close()
+			return fmt.Errorf("server: recover series %d: %w", sr.ID, rerr)
+		}
+		entries = append(entries, index.NewEntry(int(sr.ID), sr.Values, rep))
+		s.ids[int(sr.ID)] = sr.Values
+		s.n = len(sr.Values)
+	}
+	if next := int(info.MaxID) + 1; next > s.nextID {
+		s.nextID = next
+	}
+	s.mu.Unlock()
+	if err := tree.BulkLoad(entries); err != nil {
+		_ = st.Close()
+		return fmt.Errorf("server: rebuild index: %w", err)
+	}
+	s.store = st
+	s.recovery = info
+	s.recoveryDur = time.Since(start)
+	return nil
+}
+
+// Recovery reports what startup replayed from disk. ok is false when the
+// server runs without a durability layer.
+func (s *Server) Recovery() (info wal.RecoveryInfo, dur time.Duration, ok bool) {
+	return s.recovery, s.recoveryDur, s.store != nil
+}
+
+// snapshotLoop periodically snapshots the store so WAL replay stays bounded.
+// It exits when snapStop closes (Shutdown).
+func (s *Server) snapshotLoop(every time.Duration) {
+	defer s.snapWG.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.snapStop:
+			return
+		case <-t.C:
+			if err := s.snapshotNow(); err != nil {
+				s.metrics.snapshotErrors.Add(1)
+			}
+		}
+	}
+}
+
+// snapshotNow captures the live state and persists it. The state collection
+// and the segment rotation happen atomically under mu — the sealed segment
+// then holds exactly the records covered by the captured state — while the
+// heavy snapshot write runs outside the lock, so writes stall only for the
+// rotation fsync, never for the full state serialization.
+func (s *Server) snapshotNow() error {
+	if s.store == nil {
+		return nil
+	}
+	s.mu.Lock()
+	series := make([]wal.Series, 0, len(s.ids))
+	for id, values := range s.ids {
+		series = append(series, wal.Series{ID: int64(id), Values: values})
+	}
+	sealed, err := s.store.Rotate()
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	sort.Slice(series, func(i, j int) bool { return series[i].ID < series[j].ID })
+
+	start := time.Now()
+	if err := s.store.WriteSnapshot(sealed, series); err != nil {
+		return err
+	}
+	s.metrics.snapshots.Add(1)
+	s.metrics.snapshotTime.Observe(time.Since(start))
+	return nil
+}
+
+// handleReadyz is the readiness probe: 200 only when the server is past
+// recovery and not draining. Liveness (/healthz) stays green in both of
+// those states — the process is healthy, just not admitting work.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := s.state.Load()
+	code := http.StatusOK
+	if st != stateReady {
+		code = http.StatusServiceUnavailable
+	}
+	body := map[string]any{
+		"status":     stateName(st),
+		"index_size": s.idx.Len(),
+		"durable":    s.store != nil,
+	}
+	if s.store != nil {
+		body["wal_unsynced"] = s.store.Unsynced()
+		body["snapshot_seq"] = s.store.SnapshotSeq()
+	}
+	writeJSON(w, code, body)
+}

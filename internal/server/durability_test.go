@@ -1,0 +1,339 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"testing"
+	"time"
+
+	"sapla/internal/ts"
+	"sapla/internal/wal"
+)
+
+// durableConfig returns a Config wired to an in-memory WAL filesystem.
+func durableConfig(fsys wal.FS, syncEvery int) Config {
+	return Config{
+		WALFS:         fsys,
+		SyncEvery:     syncEvery,
+		SnapshotEvery: -1, // snapshots driven explicitly via snapshotNow
+		Workers:       2,
+	}
+}
+
+// knnIDs posts one k-NN query and returns the answer as (id, dist) pairs.
+func knnIDs(t *testing.T, client *http.Client, base string, q ts.Series, k int) []resultJSON {
+	t.Helper()
+	var resp knnResponse
+	code := doJSON(t, client, "POST", base+"/v1/knn",
+		map[string]any{"values": q, "k": k}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("knn: status %d", code)
+	}
+	return resp.Results
+}
+
+// TestServerCrashRecoveryProperty drives random ingest/delete traffic (with
+// occasional snapshots) against a durable server on an in-memory filesystem,
+// crashes it — no shutdown, page cache lost — restarts from the surviving
+// bytes, and requires the recovered index to answer k-NN queries
+// byte-identically to a fresh in-memory server holding exactly the
+// acknowledged series. SyncEvery=1 means acknowledged == durable, so the
+// equality is exact, not merely prefix-consistent.
+func TestServerCrashRecoveryProperty(t *testing.T) {
+	trials := 6
+	if testing.Short() {
+		trials = 2
+	}
+	const n = 64
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(500 + trial)))
+		mem := wal.NewMemFS()
+		s, hs := newTestServer(t, durableConfig(mem, 1))
+		client := hs.Client()
+
+		acked := map[int]ts.Series{}
+		nextID := 0
+		nOps := 10 + rng.Intn(30)
+		for i := 0; i < nOps; i++ {
+			switch r := rng.Intn(10); {
+			case r < 7: // ingest
+				v := randWalk(rng, n)
+				resp := ingestOne(t, client, hs.URL, nil, v)
+				acked[resp.ID] = v
+				if resp.ID >= nextID {
+					nextID = resp.ID + 1
+				}
+			case r < 9: // delete (maybe missing)
+				if nextID == 0 {
+					continue
+				}
+				id := rng.Intn(nextID)
+				code := doJSON(t, client, "DELETE",
+					fmt.Sprintf("%s/v1/series/%d", hs.URL, id), nil, nil)
+				if _, ok := acked[id]; ok {
+					if code != http.StatusOK {
+						t.Fatalf("trial %d: delete %d: status %d", trial, id, code)
+					}
+					delete(acked, id)
+				} else if code != http.StatusNotFound {
+					t.Fatalf("trial %d: delete missing %d: status %d", trial, id, code)
+				}
+			default: // snapshot + rotation
+				if err := s.snapshotNow(); err != nil {
+					t.Fatalf("trial %d: snapshot: %v", trial, err)
+				}
+			}
+		}
+
+		// Crash: the process dies, every byte the kernel had not fsync'd is
+		// gone. No Shutdown, no WAL flush.
+		hs.Close()
+		mem.Crash(nil)
+
+		rec, hrec := newTestServer(t, durableConfig(mem, 1))
+		info, _, ok := rec.Recovery()
+		if !ok {
+			t.Fatalf("trial %d: recovered server reports no durability", trial)
+		}
+		if rec.idx.Len() != len(acked) {
+			t.Fatalf("trial %d: recovered %d series, acknowledged %d (info %+v)",
+				trial, rec.idx.Len(), len(acked), info)
+		}
+
+		// Reference: a purely in-memory server over exactly the acked set.
+		_, href := newTestServer(t, Config{Workers: 2})
+		for id, v := range acked {
+			idc := id
+			ingestOne(t, href.Client(), href.URL, &idc, v)
+		}
+
+		for qi := 0; qi < 4; qi++ {
+			q := randWalk(rng, n)
+			k := 1 + rng.Intn(5)
+			if k > len(acked) {
+				if len(acked) == 0 {
+					break
+				}
+				k = len(acked)
+			}
+			got := knnIDs(t, hrec.Client(), hrec.URL, q, k)
+			want := knnIDs(t, href.Client(), href.URL, q, k)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d q%d: %d results, want %d", trial, qi, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].ID != want[i].ID ||
+					math.Float64bits(got[i].Dist) != math.Float64bits(want[i].Dist) {
+					t.Fatalf("trial %d q%d result %d: got %+v, want %+v",
+						trial, qi, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestServerShutdownDrain: with a large group-commit batch the WAL may hold
+// acknowledged-but-unsynced records — a clean Shutdown must flush and sync
+// them, so no acknowledged write is lost across a graceful restart.
+func TestServerShutdownDrain(t *testing.T) {
+	mem := wal.NewMemFS()
+	s, hs := newTestServer(t, durableConfig(mem, 50))
+	rng := rand.New(rand.NewSource(7))
+	acked := map[int]ts.Series{}
+	for i := 0; i < 9; i++ {
+		v := randWalk(rng, 32)
+		resp := ingestOne(t, hs.Client(), hs.URL, nil, v)
+		acked[resp.ID] = v
+	}
+	if s.store.Unsynced() == 0 {
+		t.Fatal("test expects unsynced records before shutdown")
+	}
+	hs.Close()
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// Even a crash after the clean shutdown loses nothing.
+	mem.Crash(nil)
+
+	rec, _ := newTestServer(t, durableConfig(mem, 1))
+	if rec.idx.Len() != len(acked) {
+		t.Fatalf("recovered %d series, acknowledged %d", rec.idx.Len(), len(acked))
+	}
+	rec.mu.Lock()
+	for id, v := range acked {
+		got, ok := rec.ids[id]
+		if !ok || len(got) != len(v) {
+			rec.mu.Unlock()
+			t.Fatalf("series %d lost or resized across clean shutdown", id)
+		}
+	}
+	rec.mu.Unlock()
+}
+
+// TestServerReadyz: /readyz tracks the lifecycle while /healthz stays green,
+// and a draining server refuses new API work with 503.
+func TestServerReadyz(t *testing.T) {
+	s, hs := newTestServer(t, Config{Workers: 1})
+	client := hs.Client()
+	var body map[string]any
+	if code := doJSON(t, client, "GET", hs.URL+"/readyz", nil, &body); code != http.StatusOK {
+		t.Fatalf("ready server: /readyz = %d", code)
+	}
+	if body["status"] != "ready" || body["durable"] != false {
+		t.Fatalf("ready body: %+v", body)
+	}
+
+	s.state.Store(stateDraining)
+	if code := doJSON(t, client, "GET", hs.URL+"/readyz", nil, &body); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining server: /readyz = %d", code)
+	}
+	if body["status"] != "draining" {
+		t.Fatalf("draining body: %+v", body)
+	}
+	if code := doJSON(t, client, "GET", hs.URL+"/healthz", nil, nil); code != http.StatusOK {
+		t.Fatalf("draining server: /healthz = %d", code)
+	}
+	code := doJSON(t, client, "POST", hs.URL+"/v1/ingest",
+		map[string]any{"values": []float64{1, 2, 3, 4}}, nil)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("draining server admitted ingest: %d", code)
+	}
+}
+
+// TestServerLoadShedding: when an endpoint class's admission semaphore is
+// full, requests shed immediately with 429 + Retry-After and are counted,
+// and the other class keeps being admitted.
+func TestServerLoadShedding(t *testing.T) {
+	s, hs := newTestServer(t, Config{Workers: 1, MaxInflightSearch: 1})
+	client := hs.Client()
+	ingestOne(t, client, hs.URL, nil, randWalk(rand.New(rand.NewSource(3)), 32))
+
+	// Occupy the only search slot.
+	s.searchSem <- struct{}{}
+	defer func() { <-s.searchSem }()
+
+	req, err := http.NewRequest("POST", hs.URL+"/v1/knn", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated search: status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	if got := s.metrics.shed.Get("knn"); got == nil || got.String() != "1" {
+		t.Fatalf("shed counter: %v", got)
+	}
+	// Writes use a separate semaphore and still flow.
+	ingestOne(t, client, hs.URL, nil, randWalk(rand.New(rand.NewSource(4)), 32))
+}
+
+// TestServerWALAppendFailure: an fsync failure rejects the write with 503
+// and nothing becomes visible; the store fails stop, so later writes also
+// answer 503 while reads keep serving; restart recovers every acknowledged
+// series.
+func TestServerWALAppendFailure(t *testing.T) {
+	mem := wal.NewMemFS()
+	ffs := wal.NewFaultFS(mem)
+	s, hs := newTestServer(t, durableConfig(ffs, 1))
+	client := hs.Client()
+	rng := rand.New(rand.NewSource(9))
+	acked := map[int]ts.Series{}
+	for i := 0; i < 5; i++ {
+		v := randWalk(rng, 32)
+		resp := ingestOne(t, client, hs.URL, nil, v)
+		acked[resp.ID] = v
+	}
+
+	ffs.FailSyncAt(ffs.Ops() + 2) // next append: write, then the failing sync
+	var errBody errorResponse
+	code := doJSON(t, client, "POST", hs.URL+"/v1/ingest",
+		map[string]any{"values": randWalk(rng, 32)}, &errBody)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("ingest over failed fsync: status %d (%s)", code, errBody.Error)
+	}
+	if s.idx.Len() != len(acked) {
+		t.Fatal("rejected ingest became visible in the index")
+	}
+	if code := doJSON(t, client, "POST", hs.URL+"/v1/ingest",
+		map[string]any{"values": randWalk(rng, 32)}, &errBody); code != http.StatusServiceUnavailable {
+		t.Fatalf("ingest on broken store: status %d", code)
+	}
+	if !errors.Is(s.store.Sync(), wal.ErrStoreBroken) {
+		t.Fatal("store not fail-stopped after fsync error")
+	}
+	// Reads are unaffected by the broken write path.
+	knnIDs(t, client, hs.URL, randWalk(rng, 32), 3)
+
+	hs.Close()
+	mem.Crash(nil)
+	rec, _ := newTestServer(t, durableConfig(mem, 1))
+	if rec.idx.Len() != len(acked) {
+		t.Fatalf("recovered %d series, acknowledged %d", rec.idx.Len(), len(acked))
+	}
+}
+
+// TestServerSnapshotBoundsReplay: after a snapshot, recovery replays only
+// the records appended since it, and recovery metadata surfaces on /metrics.
+func TestServerSnapshotBoundsReplay(t *testing.T) {
+	mem := wal.NewMemFS()
+	s, hs := newTestServer(t, durableConfig(mem, 1))
+	client := hs.Client()
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 8; i++ {
+		ingestOne(t, client, hs.URL, nil, randWalk(rng, 32))
+	}
+	if err := s.snapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		ingestOne(t, client, hs.URL, nil, randWalk(rng, 32))
+	}
+	hs.Close()
+	mem.Crash(nil)
+
+	rec, hrec := newTestServer(t, durableConfig(mem, 1))
+	info, dur, ok := rec.Recovery()
+	if !ok {
+		t.Fatal("no recovery info")
+	}
+	if info.SnapshotSeries != 8 || info.Replayed != 3 {
+		t.Fatalf("recovery info %+v: want 8 snapshot series, 3 replayed", info)
+	}
+	if dur <= 0 {
+		t.Fatalf("non-positive recovery duration %v", dur)
+	}
+	var doc map[string]any
+	if code := doJSON(t, hrec.Client(), "GET", hrec.URL+"/metrics", nil, &doc); code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	durab, ok := doc["durability"].(map[string]any)
+	if !ok {
+		t.Fatal("/metrics missing durability section")
+	}
+	if durab["recovery_replayed"] != float64(3) {
+		t.Fatalf("durability section: %+v", durab)
+	}
+	// A snapshot ticker left running would leak; SnapshotEvery<0 means the
+	// drain below must return promptly.
+	done := make(chan error, 1)
+	go func() { done <- rec.Shutdown(context.Background()) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("shutdown hung")
+	}
+}

@@ -133,12 +133,27 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		id = s.nextID
 		s.nextID++
 	}
+	// Durability before acknowledgement: the WAL record must be appended
+	// (and, at SyncEvery=1, fsync'd) before the insert becomes visible. A
+	// failed append rejects the request with nothing to undo; a failed
+	// insert after a successful append is undone by a compensating delete
+	// record so replay converges to the served state.
+	if s.store != nil {
+		if err := s.store.AppendIngest(int64(id), req.Values); err != nil {
+			s.mu.Unlock()
+			writeErr(w, http.StatusServiceUnavailable, "wal append: %v", err)
+			return
+		}
+	}
 	if err := s.idx.Insert(index.NewEntry(id, req.Values, rep)); err != nil {
+		if s.store != nil {
+			_ = s.store.AppendDelete(int64(id)) //sapla:errok best-effort compensation; a broken store already refuses every later append
+		}
 		s.mu.Unlock()
 		writeErr(w, http.StatusInternalServerError, "insert: %v", err)
 		return
 	}
-	s.ids[id] = struct{}{}
+	s.ids[id] = req.Values
 	s.n = len(req.Values)
 	s.mu.Unlock()
 
@@ -202,6 +217,16 @@ func (s *Server) prepareQuery(values ts.Series) (dist.Query, error) {
 	return dist.NewQuery(values, rep), nil
 }
 
+// knnStatus maps a batch search error to a status code: a cancellation
+// (client gone, or the request timeout fired — the TimeoutHandler then owns
+// the response anyway) is the client's doing, everything else is ours.
+func knnStatus(err error) int {
+	if errors.Is(err, index.ErrBatchCanceled) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
 // checkK bounds k.
 func (s *Server) checkK(k int) error {
 	if k <= 0 || k > s.cfg.MaxK {
@@ -227,9 +252,9 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	size := s.idx.Len()
-	out, stats, err := index.BatchKNN(s.idx, []dist.Query{q}, req.K, s.cfg.Workers)
+	out, stats, err := index.BatchKNNContext(r.Context(), s.idx, []dist.Query{q}, req.K, s.cfg.Workers)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "knn: %v", err)
+		writeErr(w, knnStatus(err), "knn: %v", err)
 		return
 	}
 	s.metrics.addSearch(1, stats[0].Measured, stats[0].Filtered, stats[0].NodesVisited, size)
@@ -291,9 +316,9 @@ func (s *Server) handleKNNBatch(w http.ResponseWriter, r *http.Request) {
 		queries[i] = q
 	}
 	size := s.idx.Len()
-	out, stats, err := index.BatchKNN(s.idx, queries, req.K, s.cfg.Workers)
+	out, stats, err := index.BatchKNNContext(r.Context(), s.idx, queries, req.K, s.cfg.Workers)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "batch knn: %v", err)
+		writeErr(w, knnStatus(err), "batch knn: %v", err)
 		return
 	}
 	resp := batchResponse{Epoch: s.idx.Epoch(), Answers: make([]knnAnswer, len(out))}
@@ -362,6 +387,14 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	_, present := s.ids[id]
 	if present {
+		// Same WAL-before-acknowledge discipline as ingest.
+		if s.store != nil {
+			if err := s.store.AppendDelete(int64(id)); err != nil {
+				s.mu.Unlock()
+				writeErr(w, http.StatusServiceUnavailable, "wal append: %v", err)
+				return
+			}
+		}
 		if !s.idx.Delete(id) {
 			s.mu.Unlock()
 			writeErr(w, http.StatusInternalServerError,

@@ -134,10 +134,17 @@ type metrics struct {
 
 	requests *expvar.Map // per-endpoint request counts
 	errors   *expvar.Map // per-endpoint non-2xx counts
+	shed     *expvar.Map // per-endpoint 429 load-shed counts
 	latency  map[string]*histogram
 
 	ingested expvar.Int // series accepted
 	deleted  expvar.Int // series removed
+
+	// Durability instrumentation (zero when the WAL is disabled).
+	walSync        *histogram // WAL fsync latency, the write-path floor
+	snapshots      expvar.Int // snapshots installed
+	snapshotErrors expvar.Int // snapshot attempts that failed
+	snapshotTime   *histogram // snapshot write duration
 
 	// Cumulative GEMINI search work, the numerators/denominator of the
 	// paper's pruning power ρ (Eq. 14): measured / candidates is the
@@ -154,10 +161,13 @@ var endpointNames = []string{"ingest", "knn", "knn_batch", "range", "delete"}
 
 func newMetrics() *metrics {
 	m := &metrics{
-		start:    time.Now(),
-		requests: new(expvar.Map).Init(),
-		errors:   new(expvar.Map).Init(),
-		latency:  make(map[string]*histogram, len(endpointNames)),
+		start:        time.Now(),
+		requests:     new(expvar.Map).Init(),
+		errors:       new(expvar.Map).Init(),
+		shed:         new(expvar.Map).Init(),
+		latency:      make(map[string]*histogram, len(endpointNames)),
+		walSync:      newHistogram(),
+		snapshotTime: newHistogram(),
 	}
 	for _, name := range endpointNames {
 		m.latency[name] = newHistogram()
@@ -195,6 +205,7 @@ func (s *Server) metricsHandler(w http.ResponseWriter, r *http.Request) {
 	doc["uptime_seconds"] = mustJSON(time.Since(m.start).Seconds())
 	doc["requests"] = raw(m.requests)
 	doc["errors"] = raw(m.errors)
+	doc["shed"] = raw(m.shed)
 
 	lat := map[string]json.RawMessage{}
 	for name, h := range m.latency {
@@ -233,6 +244,22 @@ func (s *Server) metricsHandler(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	doc["index"] = mustJSON(idx)
+
+	if s.store != nil {
+		doc["durability"] = mustJSON(map[string]any{
+			"wal_fsync":            json.RawMessage(m.walSync.String()),
+			"wal_unsynced":         s.store.Unsynced(),
+			"snapshot_seq":         s.store.SnapshotSeq(),
+			"snapshots":            m.snapshots.Value(),
+			"snapshot_errors":      m.snapshotErrors.Value(),
+			"snapshot_write":       json.RawMessage(m.snapshotTime.String()),
+			"recovery_replayed":    s.recovery.Replayed,
+			"recovery_snapshot":    s.recovery.SnapshotSeries,
+			"recovery_torn_bytes":  s.recovery.TornBytes,
+			"recovery_duration_ms": float64(s.recoveryDur.Nanoseconds()) / 1e6,
+			"sync_every":           s.cfg.SyncEvery,
+		})
+	}
 
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

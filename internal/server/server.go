@@ -5,6 +5,13 @@
 // service is the north-star serving path: reads take a shared lock and reuse
 // pooled workspaces (no per-request index rebuild, allocation-free search
 // hot path), writes serialize, and shutdown drains in-flight requests.
+//
+// With a data directory configured the service is also durable: every
+// ingest/delete is appended to a checksummed write-ahead log before it is
+// acknowledged, snapshots bound replay time, and startup recovers the index
+// from disk (see internal/wal). Admission is bounded per endpoint class —
+// saturated classes shed with 429 + Retry-After instead of queueing without
+// bound — and /readyz distinguishes recovering/draining from ready.
 package server
 
 import (
@@ -14,11 +21,14 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sapla/internal/core"
 	"sapla/internal/index"
 	"sapla/internal/reduce"
+	"sapla/internal/ts"
+	"sapla/internal/wal"
 )
 
 // Config tunes one Server. The zero value is usable: every field falls back
@@ -46,6 +56,33 @@ type Config struct {
 	MaxBodyBytes int64
 	// RequestTimeout bounds each API request end-to-end. Default 30s.
 	RequestTimeout time.Duration
+
+	// DataDir enables durability: every ingest/delete is appended to a
+	// checksummed write-ahead log under this directory before it is
+	// acknowledged, and startup recovers the index from the newest snapshot
+	// plus WAL replay. Empty (the default) keeps the index purely in-memory.
+	DataDir string
+	// WALFS overrides the WAL filesystem (tests inject wal.MemFS or
+	// wal.FaultFS). When set it takes precedence over DataDir.
+	WALFS wal.FS
+	// SyncEvery is the WAL group-commit batch: fsync after every N appended
+	// records. Default 1 — fsync before every acknowledgement; larger values
+	// trade a bounded window of acknowledged-but-unsynced writes for
+	// throughput. Only meaningful with durability enabled.
+	SyncEvery int
+	// SnapshotEvery is the period of the background snapshot ticker that
+	// bounds WAL replay time. Default 5m; <0 disables the ticker (snapshots
+	// then happen only via explicit test hooks). Only meaningful with
+	// durability enabled.
+	SnapshotEvery time.Duration
+
+	// MaxInflightSearch bounds concurrently admitted search requests
+	// (/v1/knn, /v1/knn/batch, /v1/range); excess requests are shed with
+	// 429 + Retry-After instead of queueing without bound. Default 256.
+	MaxInflightSearch int
+	// MaxInflightWrite bounds concurrently admitted write requests
+	// (/v1/ingest, DELETE /v1/series). Default 256.
+	MaxInflightWrite int
 }
 
 // withDefaults fills unset fields.
@@ -75,7 +112,38 @@ func (c Config) withDefaults() Config {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
 	}
+	if c.SyncEvery <= 0 {
+		c.SyncEvery = 1
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 5 * time.Minute
+	}
+	if c.MaxInflightSearch <= 0 {
+		c.MaxInflightSearch = 256
+	}
+	if c.MaxInflightWrite <= 0 {
+		c.MaxInflightWrite = 256
+	}
 	return c
+}
+
+// Server lifecycle states reported by /readyz.
+const (
+	stateRecovering int32 = iota // replaying the WAL at startup
+	stateReady                   // serving
+	stateDraining                // Shutdown in progress; in-flight requests finish
+)
+
+// stateName renders a lifecycle state for /readyz and error bodies.
+func stateName(st int32) string {
+	switch st {
+	case stateRecovering:
+		return "recovering"
+	case stateDraining:
+		return "draining"
+	default:
+		return "ready"
+	}
 }
 
 // Server is the similarity-search HTTP service. Create with New, mount via
@@ -90,11 +158,33 @@ type Server struct {
 	// ingest and query paths borrow (core.Reducer is single-goroutine).
 	reducers sync.Pool
 
+	// state is the lifecycle (recovering → ready → draining) gate /readyz
+	// and the API middleware read.
+	state atomic.Int32
+
+	// searchSem/writeSem are the admission semaphores: a buffered slot per
+	// admissible request, acquired non-blocking so saturation sheds (429)
+	// instead of queueing.
+	searchSem chan struct{}
+	writeSem  chan struct{}
+
+	// store is the durability layer; nil when DataDir/WALFS are unset. Its
+	// appends are serialized under mu (so WAL order matches ID-assignment
+	// order and snapshot rotation), but Sync/Close/WriteSnapshot have their
+	// own internal lock and run outside mu.
+	store       *wal.Store
+	recovery    wal.RecoveryInfo
+	recoveryDur time.Duration
+	snapStop    chan struct{}
+	snapWG      sync.WaitGroup
+	stopOnce    sync.Once
+
 	// mu guards the ingest bookkeeping that must change atomically with an
-	// insert: the ID set (uniqueness), the fixed series length, and the
-	// auto-ID counter. Search paths never take it.
+	// insert: the ID→series map (uniqueness, and the state a snapshot
+	// captures), the fixed series length, and the auto-ID counter. Search
+	// paths never take it.
 	mu     sync.Mutex
-	ids    map[int]struct{}
+	ids    map[int]ts.Series
 	n      int // series length, fixed by the first ingest
 	nextID int
 
@@ -102,7 +192,11 @@ type Server struct {
 	httpSrv *http.Server
 }
 
-// New builds a Server over a fresh DBCH-tree for cfg.Method.
+// New builds a Server over a fresh DBCH-tree for cfg.Method. With
+// durability configured (DataDir or WALFS) it first recovers the persisted
+// state — newest snapshot plus WAL replay — bulk-loads the tree from it, and
+// only then reports ready; a corrupt snapshot or a torn non-final WAL
+// segment fails construction rather than serving silently incomplete data.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Method != "SAPLA" {
@@ -116,13 +210,25 @@ func New(cfg Config) (*Server, error) {
 	}
 	tree.SafeBound = *cfg.SafeBound
 	s := &Server{
-		cfg:     cfg,
-		idx:     index.NewConcurrent(tree),
-		metrics: newMetrics(),
-		ids:     make(map[int]struct{}),
+		cfg:       cfg,
+		metrics:   newMetrics(),
+		ids:       make(map[int]ts.Series),
+		searchSem: make(chan struct{}, cfg.MaxInflightSearch),
+		writeSem:  make(chan struct{}, cfg.MaxInflightWrite),
+		snapStop:  make(chan struct{}),
 	}
+	s.state.Store(stateRecovering)
 	s.reducers.New = func() any { return core.NewReducer() }
+	if err := s.openStore(tree); err != nil {
+		return nil, err
+	}
+	s.idx = index.NewConcurrent(tree)
 	s.handler = s.buildHandler()
+	if s.store != nil && cfg.SnapshotEvery > 0 {
+		s.snapWG.Add(1)
+		go s.snapshotLoop(cfg.SnapshotEvery)
+	}
+	s.state.Store(stateReady)
 	return s, nil
 }
 
@@ -147,23 +253,25 @@ func (s *Server) Handler() http.Handler { return s.handler }
 func (s *Server) buildHandler() http.Handler {
 	mux := http.NewServeMux()
 
-	api := func(endpoint string, h http.HandlerFunc) http.Handler {
+	api := func(endpoint string, sem chan struct{}, h http.HandlerFunc) http.Handler {
 		limited := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 			h(w, r)
 		})
 		timed := http.TimeoutHandler(limited, s.cfg.RequestTimeout,
 			`{"error":"request timed out"}`)
-		return s.instrument(endpoint, timed)
+		admitted := s.admit(endpoint, sem, timed)
+		return s.instrument(endpoint, admitted)
 	}
 
-	mux.Handle("POST /v1/ingest", api("ingest", s.handleIngest))
-	mux.Handle("POST /v1/knn", api("knn", s.handleKNN))
-	mux.Handle("POST /v1/knn/batch", api("knn_batch", s.handleKNNBatch))
-	mux.Handle("POST /v1/range", api("range", s.handleRange))
-	mux.Handle("DELETE /v1/series/{id}", api("delete", s.handleDelete))
+	mux.Handle("POST /v1/ingest", api("ingest", s.writeSem, s.handleIngest))
+	mux.Handle("POST /v1/knn", api("knn", s.searchSem, s.handleKNN))
+	mux.Handle("POST /v1/knn/batch", api("knn_batch", s.searchSem, s.handleKNNBatch))
+	mux.Handle("POST /v1/range", api("range", s.searchSem, s.handleRange))
+	mux.Handle("DELETE /v1/series/{id}", api("delete", s.writeSem, s.handleDelete))
 
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.metricsHandler)
 
 	// pprof wired explicitly so nothing leaks onto http.DefaultServeMux and
@@ -175,6 +283,32 @@ func (s *Server) buildHandler() http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
 	return mux
+}
+
+// admit gates h behind the endpoint class's admission semaphore and the
+// lifecycle state. A saturated class sheds immediately with 429 and a
+// Retry-After hint — bounded work over unbounded queueing, so overload
+// degrades into fast, explicit rejections instead of collapsing latency for
+// every admitted request. A non-ready server answers 503.
+func (s *Server) admit(endpoint string, sem chan struct{}, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if st := s.state.Load(); st != stateReady {
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, "server is %s", stateName(st))
+			return
+		}
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+		default:
+			s.metrics.shed.Add(endpoint, 1)
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests,
+				"server is saturated, retry later")
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
 }
 
 // instrument wraps h with request counting and latency observation.
@@ -248,14 +382,32 @@ func (s *Server) Serve(l net.Listener) error {
 	return srv.Serve(l)
 }
 
-// Shutdown gracefully stops the server: the listener closes immediately,
-// in-flight requests drain until ctx expires.
+// Shutdown gracefully stops the server: new requests are refused (503,
+// draining), in-flight requests drain until ctx expires, the snapshot ticker
+// goroutine stops, and the WAL is flushed, fsync'd and closed — so every
+// acknowledged write is durable across a clean restart even with a large
+// group-commit batch.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.state.CompareAndSwap(stateReady, stateDraining)
+
+	var err error
 	s.httpMu.Lock()
 	srv := s.httpSrv
 	s.httpMu.Unlock()
-	if srv == nil {
-		return nil
+	if srv != nil {
+		err = srv.Shutdown(ctx)
 	}
-	return srv.Shutdown(ctx)
+
+	s.stopOnce.Do(func() { close(s.snapStop) })
+	s.snapWG.Wait()
+
+	if s.store != nil {
+		if serr := s.store.Sync(); serr != nil && err == nil {
+			err = serr
+		}
+		if cerr := s.store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
 }

@@ -1,0 +1,107 @@
+package tsio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// WALOp identifies one write-ahead-log record type.
+type WALOp uint8
+
+// WAL record operations. The zero value is invalid so an all-zero buffer
+// never decodes as a record.
+const (
+	WALIngest WALOp = 1 // store Values under ID
+	WALDelete WALOp = 2 // remove ID; Values must be empty
+)
+
+// WALRecord is one durable mutation of the representation store: an ingest
+// carrying the raw series, or a delete. The binary form is fixed-width
+// little-endian — op byte, int64 ID, uint32 value count, then the values as
+// IEEE-754 bits — so encode(decode(b)) is byte-identical and replay never
+// depends on platform formatting.
+type WALRecord struct {
+	Op     WALOp
+	ID     int64
+	Values []float64
+}
+
+// walRecordHeader is the encoded size of the fixed fields: 1 (op) + 8 (id)
+// + 4 (count).
+const walRecordHeader = 1 + 8 + 4
+
+// MaxWALValues bounds the value count a record may carry. It exists so a
+// corrupt length prefix cannot drive a multi-gigabyte allocation during
+// replay; 1<<24 points (128 MiB of float64s) is far beyond any series the
+// service accepts.
+const MaxWALValues = 1 << 24
+
+// Errors returned by the WAL record codec.
+var (
+	ErrWALRecordShort = errors.New("tsio: wal record truncated")
+	ErrWALRecordOp    = errors.New("tsio: wal record has invalid op")
+)
+
+// EncodedWALRecordSize returns the exact encoded size of r.
+func EncodedWALRecordSize(r WALRecord) int {
+	return walRecordHeader + 8*len(r.Values)
+}
+
+// AppendWALRecord appends r's binary encoding to dst and returns the
+// extended slice. Delete records must not carry values.
+func AppendWALRecord(dst []byte, r WALRecord) ([]byte, error) {
+	switch r.Op {
+	case WALIngest:
+	case WALDelete:
+		if len(r.Values) != 0 {
+			return dst, fmt.Errorf("tsio: delete record carries %d values", len(r.Values))
+		}
+	default:
+		return dst, fmt.Errorf("%w: %d", ErrWALRecordOp, r.Op)
+	}
+	if len(r.Values) > MaxWALValues {
+		return dst, fmt.Errorf("tsio: wal record has %d values, limit %d", len(r.Values), MaxWALValues)
+	}
+	dst = append(dst, byte(r.Op))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(r.ID))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Values)))
+	for _, v := range r.Values {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst, nil
+}
+
+// DecodeWALRecord decodes exactly one record from b. The whole buffer must
+// be consumed: trailing bytes mean the frame length and the record disagree,
+// which is corruption, not concatenation.
+func DecodeWALRecord(b []byte) (WALRecord, error) {
+	var r WALRecord
+	if len(b) < walRecordHeader {
+		return r, fmt.Errorf("%w: %d bytes", ErrWALRecordShort, len(b))
+	}
+	r.Op = WALOp(b[0])
+	if r.Op != WALIngest && r.Op != WALDelete {
+		return r, fmt.Errorf("%w: %d", ErrWALRecordOp, b[0])
+	}
+	r.ID = int64(binary.LittleEndian.Uint64(b[1:9]))
+	count := binary.LittleEndian.Uint32(b[9:13])
+	if count > MaxWALValues {
+		return r, fmt.Errorf("tsio: wal record claims %d values, limit %d", count, MaxWALValues)
+	}
+	if r.Op == WALDelete && count != 0 {
+		return r, fmt.Errorf("tsio: delete record claims %d values", count)
+	}
+	want := walRecordHeader + 8*int(count)
+	if len(b) != want {
+		return r, fmt.Errorf("%w: %d bytes for %d values (want %d)", ErrWALRecordShort, len(b), count, want)
+	}
+	if count > 0 {
+		r.Values = make([]float64, count)
+		for i := range r.Values {
+			r.Values[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[walRecordHeader+8*i:]))
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,219 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+)
+
+// Fault-injection errors. ErrInjected marks a single injected failure (short
+// write, fsync error); ErrCrashed marks the crash-point after which every
+// operation fails, modelling a dead process that can only recover by
+// reopening the store.
+var (
+	ErrInjected = errors.New("wal: injected fault")
+	ErrCrashed  = errors.New("wal: crashed (injected crash-point)")
+)
+
+// FaultFS wraps an FS and injects faults at chosen operation counts. Every
+// File.Write and File.Sync across all files increments one shared op
+// counter; the configured fault fires when the counter reaches its trigger:
+//
+//   - FailWriteAt(n): the n-th op, if a write, persists only half its bytes
+//     and returns ErrInjected (a short write / full disk).
+//   - FailSyncAt(n): the n-th op, if a sync, does nothing and returns
+//     ErrInjected (an fsync error; the data stays volatile).
+//   - CrashAt(n): the n-th and every later op returns ErrCrashed without
+//     touching the inner FS.
+//
+// Triggers are one-shot except the crash, which is permanent. A zero
+// trigger is disabled.
+type FaultFS struct {
+	inner FS
+
+	mu        sync.Mutex
+	ops       int
+	failWrite int
+	failSync  int
+	crashAt   int
+	crashed   bool
+}
+
+// NewFaultFS wraps inner with no faults armed.
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{inner: inner}
+}
+
+// FailWriteAt arms a short-write fault at op n (1-based).
+func (f *FaultFS) FailWriteAt(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failWrite = n
+}
+
+// FailSyncAt arms an fsync fault at op n (1-based).
+func (f *FaultFS) FailSyncAt(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failSync = n
+}
+
+// CrashAt arms the crash-point at op n (1-based).
+func (f *FaultFS) CrashAt(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAt = n
+}
+
+// Ops returns the operations counted so far, so a test can replay a
+// workload once fault-free, learn its op count, and then sweep every
+// crash-point in [1, Ops()].
+func (f *FaultFS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// faultKind classifies what the current op should do.
+type faultKind int
+
+const (
+	faultNone faultKind = iota
+	faultShortWrite
+	faultSyncErr
+	faultCrash
+)
+
+// step advances the op counter and returns the fault for this op. isWrite /
+// isSync gate which one-shot faults can fire.
+func (f *FaultFS) step(isWrite bool) faultKind {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return faultCrash
+	}
+	f.ops++
+	if f.crashAt > 0 && f.ops >= f.crashAt {
+		f.crashed = true
+		return faultCrash
+	}
+	if isWrite && f.failWrite > 0 && f.ops >= f.failWrite {
+		f.failWrite = 0
+		return faultShortWrite
+	}
+	if !isWrite && f.failSync > 0 && f.ops >= f.failSync {
+		f.failSync = 0
+		return faultSyncErr
+	}
+	return faultNone
+}
+
+// checkCrashed guards non-counted operations (metadata ops fail after the
+// crash-point too: the process is dead).
+func (f *FaultFS) checkCrashed() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// Create implements FS.
+func (f *FaultFS) Create(name string) (File, error) {
+	if err := f.checkCrashed(); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+// Append implements FS.
+func (f *FaultFS) Append(name string) (File, error) {
+	if err := f.checkCrashed(); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.Append(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+// ReadFile implements FS.
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if err := f.checkCrashed(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(name)
+}
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldname, newname string) error {
+	if err := f.checkCrashed(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error {
+	if err := f.checkCrashed(); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+// List implements FS.
+func (f *FaultFS) List() ([]string, error) {
+	if err := f.checkCrashed(); err != nil {
+		return nil, err
+	}
+	return f.inner.List()
+}
+
+// faultFile routes writes and syncs through the shared fault plan.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (h *faultFile) Write(p []byte) (int, error) {
+	switch h.fs.step(true) {
+	case faultCrash:
+		return 0, ErrCrashed
+	case faultShortWrite:
+		n, err := h.inner.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, ErrInjected
+	}
+	return h.inner.Write(p)
+}
+
+func (h *faultFile) Sync() error {
+	switch h.fs.step(false) {
+	case faultCrash:
+		return ErrCrashed
+	case faultSyncErr:
+		return ErrInjected
+	}
+	return h.inner.Sync()
+}
+
+func (h *faultFile) Truncate(size int64) error {
+	if err := h.fs.checkCrashed(); err != nil {
+		return err
+	}
+	return h.inner.Truncate(size)
+}
+
+func (h *faultFile) Close() error {
+	if err := h.fs.checkCrashed(); err != nil {
+		return err
+	}
+	return h.inner.Close()
+}

@@ -1,0 +1,197 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// MemFS is an in-memory FS with crash semantics faithful enough to test
+// recovery against: every file tracks durable bytes (survive a crash) and
+// pending bytes (written but not yet fsync'd — a crash may keep any prefix
+// of them, modelling a torn tail in the page cache). Rename refuses files
+// with pending bytes, so a missing fsync-before-rename in the snapshot
+// writer fails tests instead of silently relying on ext4 luck.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+}
+
+type memFile struct {
+	durable []byte
+	pending []byte
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memFile)}
+}
+
+// memHandle is an open MemFS file.
+type memHandle struct {
+	fs     *MemFS
+	name   string
+	closed bool
+}
+
+// Create implements FS.
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[name] = &memFile{}
+	return &memHandle{fs: m, name: name}, nil
+}
+
+// Append implements FS.
+func (m *MemFS) Append(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		m.files[name] = &memFile{}
+	}
+	return &memHandle{fs: m, name: name}, nil
+}
+
+// ReadFile implements FS. It reads what a reopening process would see if the
+// OS flushed everything: durable plus pending bytes. (Recovery after a
+// simulated crash never sees pending bytes because Crash discards them.)
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	out := make([]byte, 0, len(f.durable)+len(f.pending))
+	out = append(out, f.durable...)
+	out = append(out, f.pending...)
+	return out, nil
+}
+
+// Rename implements FS. It errors on a source with unsynced bytes: the
+// production snapshot writer must fsync before renaming, and this is where
+// forgetting that fails loudly.
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldname]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldname, Err: os.ErrNotExist}
+	}
+	if len(f.pending) != 0 {
+		return fmt.Errorf("wal: rename of %q with %d unsynced bytes", oldname, len(f.pending))
+	}
+	delete(m.files, oldname)
+	m.files[newname] = f
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.files, name)
+	return nil
+}
+
+// List implements FS.
+func (m *MemFS) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.files))
+	for name := range m.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Crash simulates a power loss: every file keeps its durable bytes plus a
+// caller-chosen prefix of its pending bytes. keep is called per file with
+// the pending byte count and returns how many of them survive (clamped to
+// [0, pending]); a nil keep drops all pending bytes. Keeping a strict
+// prefix of a partially-written frame is exactly a torn WAL tail.
+func (m *MemFS) Crash(keep func(name string, pending int) int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, f := range m.files {
+		k := 0
+		if keep != nil {
+			k = keep(name, len(f.pending))
+			if k < 0 {
+				k = 0
+			}
+			if k > len(f.pending) {
+				k = len(f.pending)
+			}
+		}
+		f.durable = append(f.durable, f.pending[:k]...)
+		f.pending = nil
+	}
+}
+
+// Write implements File: bytes land in the pending (volatile) region.
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	f, err := h.file()
+	if err != nil {
+		return 0, err
+	}
+	f.pending = append(f.pending, p...)
+	return len(p), nil
+}
+
+// Sync implements File: pending bytes become durable.
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	f, err := h.file()
+	if err != nil {
+		return err
+	}
+	f.durable = append(f.durable, f.pending...)
+	f.pending = nil
+	return nil
+}
+
+// Truncate implements File.
+func (h *memHandle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	f, err := h.file()
+	if err != nil {
+		return err
+	}
+	total := int64(len(f.durable) + len(f.pending))
+	if size < 0 || size > total {
+		return fmt.Errorf("wal: truncate %q to %d, size %d", h.name, size, total)
+	}
+	if size <= int64(len(f.durable)) {
+		f.durable = f.durable[:size]
+		f.pending = nil
+	} else {
+		f.pending = f.pending[:size-int64(len(f.durable))]
+	}
+	return nil
+}
+
+// Close implements File.
+func (h *memHandle) Close() error {
+	h.closed = true
+	return nil
+}
+
+// file resolves the handle to its current file, failing after close or
+// removal (matching an OS file descriptor closely enough for these tests).
+func (h *memHandle) file() (*memFile, error) {
+	if h.closed {
+		return nil, os.ErrClosed
+	}
+	f, ok := h.fs.files[h.name]
+	if !ok {
+		return nil, &os.PathError{Op: "write", Path: h.name, Err: os.ErrNotExist}
+	}
+	return f, nil
+}

@@ -1,0 +1,465 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// walk builds a deterministic random-walk series.
+func walk(rng *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	var v float64
+	for i := range s {
+		v += rng.NormFloat64()
+		s[i] = v
+	}
+	return s
+}
+
+// sameSeries asserts two recovered states are bit-identical.
+func sameSeries(t *testing.T, got, want []Series) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d series, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("series %d: id %d, want %d", i, got[i].ID, want[i].ID)
+		}
+		if len(got[i].Values) != len(want[i].Values) {
+			t.Fatalf("series id %d: %d values, want %d", got[i].ID, len(got[i].Values), len(want[i].Values))
+		}
+		for j := range want[i].Values {
+			if math.Float64bits(got[i].Values[j]) != math.Float64bits(want[i].Values[j]) {
+				t.Fatalf("series id %d value %d: %x, want %x bits", got[i].ID, j,
+					math.Float64bits(got[i].Values[j]), math.Float64bits(want[i].Values[j]))
+			}
+		}
+	}
+}
+
+// toSorted converts a reference map into the []Series Open returns.
+func toSorted(ref map[int64][]float64) []Series {
+	out := make([]Series, 0, len(ref))
+	for id, v := range ref {
+		out = append(out, Series{ID: id, Values: v})
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; tiny test states
+		for j := i; j > 0 && out[j].ID < out[j-1].ID; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func TestStoreFreshOpenEmpty(t *testing.T) {
+	mem := NewMemFS()
+	st, series, info, err := Open(mem, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 0 || info.Replayed != 0 || info.SnapshotSeq != 0 {
+		t.Fatalf("fresh open: series=%d info=%+v", len(series), info)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	if err := st.AppendDelete(1); !errors.Is(err, ErrStoreClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+}
+
+func TestStoreAppendRecoverRoundTrip(t *testing.T) {
+	mem := NewMemFS()
+	st, _, _, err := Open(mem, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	ref := map[int64][]float64{}
+	for id := int64(0); id < 20; id++ {
+		v := walk(rng, 32)
+		if err := st.AppendIngest(id, v); err != nil {
+			t.Fatal(err)
+		}
+		ref[id] = v
+	}
+	for _, id := range []int64{3, 7, 7, 19} { // double delete is a no-op on replay
+		if err := st.AppendDelete(id); err != nil {
+			t.Fatal(err)
+		}
+		delete(ref, id)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, series, info, err := Open(mem, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	sameSeries(t, series, toSorted(ref))
+	if info.Replayed != 24 || info.Segments != 1 || info.TornBytes != 0 {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.MaxID != 19 {
+		t.Fatalf("MaxID = %d, want 19", info.MaxID)
+	}
+}
+
+func TestStoreRejectsBadIngest(t *testing.T) {
+	mem := NewMemFS()
+	st, _, _, err := Open(mem, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.AppendIngest(1, nil); err == nil {
+		t.Fatal("empty series accepted")
+	}
+	if err := st.AppendIngest(1, []float64{1, math.NaN()}); err == nil {
+		t.Fatal("NaN series accepted")
+	}
+	if err := st.AppendIngest(1, []float64{math.Inf(1)}); err == nil {
+		t.Fatal("Inf series accepted")
+	}
+}
+
+func TestStoreGroupCommit(t *testing.T) {
+	mem := NewMemFS()
+	var syncs int
+	st, _, _, err := Open(mem, Options{SyncEvery: 3, ObserveSync: func(time.Duration) { syncs++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 7; i++ {
+		if err := st.AppendIngest(i, []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if syncs != 2 { // after records 3 and 6
+		t.Fatalf("observed %d fsyncs for 7 appends at SyncEvery=3, want 2", syncs)
+	}
+	if got := st.Unsynced(); got != 1 {
+		t.Fatalf("unsynced = %d, want 1", got)
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if syncs != 3 || st.Unsynced() != 0 {
+		t.Fatalf("after explicit Sync: syncs=%d unsynced=%d", syncs, st.Unsynced())
+	}
+	if err := st.Sync(); err != nil { // idempotent when clean
+		t.Fatal(err)
+	}
+	if syncs != 3 {
+		t.Fatalf("no-op Sync still fsynced (%d)", syncs)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreTornTailTruncated(t *testing.T) {
+	mem := NewMemFS()
+	st, _, _, err := Open(mem, Options{SyncEvery: 100}) // keep appends unsynced
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	// Two synced records, then two unsynced ones.
+	a, b := walk(rng, 16), walk(rng, 16)
+	if err := st.AppendIngest(1, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendIngest(2, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendIngest(3, walk(rng, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendIngest(4, walk(rng, 16)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Power loss keeping 10 bytes of the unsynced tail: record 3's frame is
+	// torn mid-payload. Recovery must keep 1 and 2, drop the tail, and
+	// leave the log appendable.
+	mem.Crash(func(name string, pending int) int { return 10 })
+
+	st2, series, info, err := Open(mem, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSeries(t, series, []Series{{ID: 1, Values: a}, {ID: 2, Values: b}})
+	if info.TornBytes != 10 || info.Replayed != 2 {
+		t.Fatalf("info = %+v, want TornBytes 10 Replayed 2", info)
+	}
+
+	// The truncated log accepts new appends and they survive.
+	c := walk(rng, 16)
+	if err := st2.AppendIngest(5, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, series, _, err = Open(mem, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSeries(t, series, []Series{{ID: 1, Values: a}, {ID: 2, Values: b}, {ID: 5, Values: c}})
+}
+
+func TestStoreSnapshotRotationAndGC(t *testing.T) {
+	mem := NewMemFS()
+	st, _, _, err := Open(mem, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	ref := map[int64][]float64{}
+	for id := int64(0); id < 10; id++ {
+		v := walk(rng, 8)
+		if err := st.AppendIngest(id, v); err != nil {
+			t.Fatal(err)
+		}
+		ref[id] = v
+	}
+	if err := st.AppendDelete(4); err != nil {
+		t.Fatal(err)
+	}
+	delete(ref, 4)
+
+	sealed, err := st.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sealed != 1 {
+		t.Fatalf("sealed segment %d, want 1", sealed)
+	}
+	// Records appended after the rotation land in segment 2 and must
+	// survive alongside the snapshot of segment 1's state.
+	late := walk(rng, 8)
+	if err := st.AppendIngest(50, late); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteSnapshot(sealed, toSorted(ref)); err != nil {
+		t.Fatal(err)
+	}
+	if st.SnapshotSeq() != 1 {
+		t.Fatalf("SnapshotSeq = %d", st.SnapshotSeq())
+	}
+	// GC removed the sealed segment.
+	names, err := mem.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if n == segFileName(1) {
+			t.Fatalf("sealed segment not garbage-collected: %v", names)
+		}
+	}
+
+	ref[50] = late
+	st2, series, info, err := Open(mem, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSeries(t, series, toSorted(ref))
+	if info.SnapshotSeq != 1 || info.SnapshotSeries != 9 || info.Replayed != 1 {
+		t.Fatalf("info = %+v", info)
+	}
+	// Next rotation continues the sequence.
+	sealed2, err := st2.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sealed2 != 2 {
+		t.Fatalf("second sealed segment %d, want 2", sealed2)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreRefusesCorruptSnapshot(t *testing.T) {
+	mem := NewMemFS()
+	st, _, _, err := Open(mem, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	ref := map[int64][]float64{1: walk(rng, 8), 2: walk(rng, 8)}
+	for id, v := range ref {
+		if err := st.AppendIngest(id, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sealed, err := st.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteSnapshot(sealed, toSorted(ref)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte in the middle of the installed snapshot.
+	name := snapFileName(sealed)
+	data, err := mem.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	f, err := mem.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, _, err := Open(mem, Options{}); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("open over corrupt snapshot: %v, want ErrCorruptSnapshot", err)
+	}
+}
+
+func TestStoreRefusesCorruptMiddleSegment(t *testing.T) {
+	mem := NewMemFS()
+	st, _, _, err := Open(mem, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendIngest(1, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Rotate(); err != nil { // seal segment 1, no snapshot
+		t.Fatal(err)
+	}
+	if err := st.AppendIngest(2, []float64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a payload byte in sealed segment 1: it is not the final segment,
+	// so recovery must refuse rather than silently truncate history that
+	// fsync promised was durable.
+	name := segFileName(1)
+	data, err := mem.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0x01
+	f, err := mem.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, _, err := Open(mem, Options{}); !errors.Is(err, ErrCorruptWAL) {
+		t.Fatalf("open over corrupt middle segment: %v, want ErrCorruptWAL", err)
+	}
+}
+
+func TestStoreOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	fsys, err := NewDirFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, _, err := Open(fsys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	ref := map[int64][]float64{}
+	for id := int64(0); id < 8; id++ {
+		v := walk(rng, 16)
+		if err := st.AppendIngest(id, v); err != nil {
+			t.Fatal(err)
+		}
+		ref[id] = v
+	}
+	if err := st.AppendDelete(2); err != nil {
+		t.Fatal(err)
+	}
+	delete(ref, 2)
+	sealed, err := st.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteSnapshot(sealed, toSorted(ref)); err != nil {
+		t.Fatal(err)
+	}
+	extra := walk(rng, 16)
+	if err := st.AppendIngest(100, extra); err != nil {
+		t.Fatal(err)
+	}
+	ref[100] = extra
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, series, info, err := Open(fsys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	sameSeries(t, series, toSorted(ref))
+	if info.SnapshotSeq != 1 || info.Replayed != 1 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestParseSeq(t *testing.T) {
+	cases := []struct {
+		name string
+		seq  uint64
+		ok   bool
+	}{
+		{segFileName(7), 7, true},
+		{snapFileName(12), 0, false}, // wrong prefix for segment parse
+		{"wal-.log", 0, false},
+		{"wal-xx.log", 0, false},
+		{"other.txt", 0, false},
+	}
+	for _, tc := range cases {
+		seq, ok := parseSeq(tc.name, segPrefix, segSuffix)
+		if ok != tc.ok || (ok && seq != tc.seq) {
+			t.Fatalf("parseSeq(%q) = %d,%v want %d,%v", tc.name, seq, ok, tc.seq, tc.ok)
+		}
+	}
+	if _, err := fmt.Sscanf(segFileName(3), segPrefix+"%d"+segSuffix, new(uint64)); err != nil {
+		t.Fatalf("segment name not scannable: %v", err)
+	}
+}
