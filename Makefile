@@ -19,9 +19,13 @@ vet:
 
 # Repo-specific static analysis (internal/lint): zero-allocation hot paths,
 # mutex-guarded field access, float equality, eval/index determinism,
-# dropped errors. See README "Static analysis" for the annotation escapes.
+# dropped errors, WAL append-before-acknowledge, context threading and
+# goroutine cancellability, lock-order cycles, and sync-value copies. Runs
+# with per-analyzer timing; set LINT_JSON=<file> to also write the machine-
+# readable report (CI uploads it as an artifact). See README "Static
+# analysis" for the annotation escapes.
 lint:
-	$(GO) run ./cmd/sapla-lint ./...
+	$(GO) run ./cmd/sapla-lint -timing $(if $(LINT_JSON),-json-out $(LINT_JSON)) ./...
 
 # Fail if any file needs gofmt.
 fmtcheck:

@@ -1,19 +1,27 @@
 // Command sapla-lint runs the repo's static analyzers: stdlib-only checks
-// that enforce the performance and concurrency contract — allocation-free
-// hot paths (noalloc), mutex discipline on shared structs (lockguard), no
-// exact float comparison (floatcmp), worker-count-independent evaluation
-// (determinism) and no silently dropped errors (errcheck).
+// that enforce the performance, durability and concurrency contract —
+// allocation-free hot paths (noalloc), mutex discipline on shared structs
+// (lockguard), no exact float comparison (floatcmp),
+// worker-count-independent evaluation (determinism), no silently dropped
+// errors (errcheck), WAL-append-before-acknowledge ordering (walorder),
+// context threading and cancellable goroutines (ctxflow), a cycle-free
+// lock-acquisition order (lockorder) and no copied sync primitives or mixed
+// atomic/plain field access (copylocks).
 //
 // Usage:
 //
-//	sapla-lint [-checks noalloc,lockguard,...] [patterns...]
+//	sapla-lint [-checks noalloc,lockorder,...] [-json] [-json-out FILE] [-timing] [patterns...]
 //
 // Patterns default to ./... and are module-relative ("./internal/index",
 // "./internal/..."). Exit status: 0 clean, 1 findings, 2 usage or load
-// failure. Findings print as "file:line:col: [check] message".
+// failure. Findings print as "file:line:col: [check] message"; -json emits
+// a machine-readable report on stdout instead, -json-out writes the same
+// report to a file (CI uploads it as an artifact), and -timing prints
+// per-analyzer wall-clock cost to stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,9 +31,29 @@ import (
 	"sapla/internal/lint"
 )
 
+// report is the machine-readable output of one run.
+type report struct {
+	Findings []finding          `json:"findings"`
+	Timing   []lint.CheckTiming `json:"timing"`
+	TotalMs  float64            `json:"total_ms"`
+	Clean    bool               `json:"clean"`
+}
+
+// finding mirrors lint.Diagnostic with a cwd-relative file path.
+type finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
 func main() {
 	checks := flag.String("checks", "", "comma-separated checks to run (default: all)")
 	list := flag.Bool("list", false, "list available checks and exit")
+	jsonOut := flag.String("json-out", "", "write the JSON report to this file (written even when findings exist)")
+	jsonStdout := flag.Bool("json", false, "print the JSON report to stdout instead of text findings")
+	timing := flag.Bool("timing", false, "print per-analyzer timing to stderr")
 	flag.Parse()
 
 	analyzers, err := lint.Analyzers(splitChecks(*checks)...)
@@ -46,22 +74,71 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	diags := prog.Run(analyzers)
+	diags, timings := prog.RunTimed(analyzers)
+
+	cwd, _ := os.Getwd()
+	rep := report{Findings: []finding{}, Timing: timings, Clean: len(diags) == 0}
+	for _, t := range timings {
+		rep.TotalMs += t.Millis
+	}
+	for _, d := range diags {
+		rep.Findings = append(rep.Findings, finding{
+			File:    relPath(cwd, d.Pos.Filename),
+			Line:    d.Pos.Line,
+			Column:  d.Pos.Column,
+			Check:   d.Check,
+			Message: d.Message,
+		})
+	}
+
+	if *timing {
+		for _, t := range timings {
+			fmt.Fprintf(os.Stderr, "sapla-lint: %-12s %8.1fms %4d finding(s)\n", t.Check, t.Millis, t.Findings)
+		}
+		fmt.Fprintf(os.Stderr, "sapla-lint: %-12s %8.1fms\n", "total", rep.TotalMs)
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sapla-lint: write %s: %v\n", *jsonOut, err)
+			os.Exit(2)
+		}
+	}
+	if *jsonStdout {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Println(string(data))
+		if len(diags) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
 	if len(diags) == 0 {
 		return
 	}
-	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		file := d.Pos.Filename
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
-				file = rel
-			}
-		}
-		fmt.Printf("%s:%d:%d: [%s] %s\n", file, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+	for _, f := range rep.Findings {
+		fmt.Printf("%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Column, f.Check, f.Message)
 	}
 	fmt.Fprintf(os.Stderr, "sapla-lint: %d finding(s)\n", len(diags))
 	os.Exit(1)
+}
+
+// relPath renders file relative to cwd when it lies under it.
+func relPath(cwd, file string) string {
+	if cwd == "" {
+		return file
+	}
+	if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return file
 }
 
 // splitChecks parses the -checks flag.

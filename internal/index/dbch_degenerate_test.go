@@ -1,0 +1,186 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sapla/internal/dist"
+)
+
+// newDegenerateDBCH builds an empty DBCH pair (bulk target, incremental
+// reference) for the degenerate-input tests.
+func newDegenerateDBCH(t *testing.T) (*DBCH, *DBCH) {
+	t.Helper()
+	bulk, err := NewDBCH("SAPLA", 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := NewDBCH("SAPLA", 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bulk, inc
+}
+
+// TestDBCHBulkLoadEmpty bulk-loads nothing: the tree must stay empty and
+// queries must come back clean.
+func TestDBCHBulkLoadEmpty(t *testing.T) {
+	bulk, _ := newDegenerateDBCH(t)
+	if err := bulk.BulkLoad(nil); err != nil {
+		t.Fatalf("empty bulk load: %v", err)
+	}
+	if bulk.Len() != 0 {
+		t.Fatalf("Len = %d after empty bulk load", bulk.Len())
+	}
+	rng := rand.New(rand.NewSource(50))
+	meth := buildMethod(t, "SAPLA")
+	q := randWalk(rng, 64)
+	qr, err := meth.Reduce(q, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := bulk.KNN(dist.NewQuery(q, qr), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("KNN on empty tree returned %d results", len(res))
+	}
+	// An empty bulk load must leave the tree usable for inserts.
+	entries := makeEntries(t, meth, rng, 4, 64, 12)
+	for _, e := range entries {
+		if err := bulk.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bulk.Len() != 4 {
+		t.Fatalf("Len = %d after inserting into bulk-loaded-empty tree", bulk.Len())
+	}
+}
+
+// TestDBCHBulkLoadSingle compares a one-entry bulk load against a one-entry
+// incremental tree: identical answer, identical shape.
+func TestDBCHBulkLoadSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	meth := buildMethod(t, "SAPLA")
+	entries := makeEntries(t, meth, rng, 1, 64, 12)
+
+	bulk, inc := newDegenerateDBCH(t)
+	if err := bulk.BulkLoad(entries); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Insert(entries[0]); err != nil {
+		t.Fatal(err)
+	}
+	if bulk.Len() != 1 || inc.Len() != 1 {
+		t.Fatalf("Len bulk=%d inc=%d, want 1", bulk.Len(), inc.Len())
+	}
+	if bs, is := bulk.Stats(), inc.Stats(); bs != is {
+		t.Errorf("tree shape diverged: bulk %+v, incremental %+v", bs, is)
+	}
+
+	q := randWalk(rng, 64)
+	qr, err := meth.Reduce(q, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := dist.NewQuery(q, qr)
+	br, _, err := bulk.KNN(query, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir, _, err := inc.KNN(query, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(br) != 1 || len(ir) != 1 {
+		t.Fatalf("result counts bulk=%d inc=%d, want 1 each", len(br), len(ir))
+	}
+	if br[0].Entry.ID != ir[0].Entry.ID || br[0].Dist != ir[0].Dist {
+		t.Errorf("answers diverged: bulk (%d, %g), incremental (%d, %g)",
+			br[0].Entry.ID, br[0].Dist, ir[0].Entry.ID, ir[0].Dist)
+	}
+}
+
+// TestDBCHBulkLoadAllIdentical bulk-loads entries whose raw series and
+// representations are all the same: every pivot distance is zero, so the
+// distance sort degenerates completely. The packed tree must still hold
+// every entry and answer queries equivalently to incremental insertion.
+func TestDBCHBulkLoadAllIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	meth := buildMethod(t, "SAPLA")
+	const count, k = 23, 7
+	raw := randWalk(rng, 64)
+	rep, err := meth.Reduce(raw, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := make([]*Entry, count)
+	for i := range entries {
+		entries[i] = NewEntry(i, raw, rep)
+	}
+
+	bulk, inc := newDegenerateDBCH(t)
+	if err := bulk.BulkLoad(entries); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := inc.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bulk.Len() != count || inc.Len() != count {
+		t.Fatalf("Len bulk=%d inc=%d, want %d", bulk.Len(), inc.Len(), count)
+	}
+
+	q := randWalk(rng, 64)
+	qr, err := meth.Reduce(q, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := dist.NewQuery(q, qr)
+	br, _, err := bulk.KNN(query, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir, _, err := inc.KNN(query, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(br) != k || len(ir) != k {
+		t.Fatalf("result counts bulk=%d inc=%d, want %d each", len(br), len(ir), k)
+	}
+	// Every stored series is the same, so every answer's distance is the
+	// same value; IDs are arbitrary among the ties but must be distinct.
+	checkTied := func(name string, res []Result) {
+		seen := make(map[int]bool, len(res))
+		for _, r := range res {
+			if r.Dist != br[0].Dist {
+				t.Errorf("%s: tied distances diverged: %g vs %g", name, r.Dist, br[0].Dist)
+			}
+			if seen[r.Entry.ID] {
+				t.Errorf("%s: duplicate ID %d in k-NN answer", name, r.Entry.ID)
+			}
+			seen[r.Entry.ID] = true
+		}
+	}
+	checkTied("bulk", br)
+	checkTied("incremental", ir)
+
+	// Deleting through the packed structure must work as well: drain half
+	// the IDs and watch the count.
+	ids := make([]int, 0, count)
+	for _, e := range entries {
+		ids = append(ids, e.ID)
+	}
+	sort.Ints(ids)
+	for _, id := range ids[:count/2] {
+		if !bulk.Delete(id) {
+			t.Fatalf("Delete(%d) failed on bulk-loaded tree", id)
+		}
+	}
+	if bulk.Len() != count-count/2 {
+		t.Fatalf("Len = %d after deletes, want %d", bulk.Len(), count-count/2)
+	}
+}

@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file builds the module-wide static call graph the interprocedural
+// analyzers (walorder, ctxflow, lockorder, the ported noalloc/lockguard)
+// share. Nodes are module-internal functions with bodies; edges are calls
+// that resolve statically (package functions, concrete methods, qualified
+// cross-package calls) plus interface calls resolved through method-set
+// satisfaction against every named type declared in the module. Calls
+// through plain function values stay unresolved — the analyzers that ride
+// on the graph are deliberately conservative about what they cannot see.
+
+// FuncInfo is one module-internal function with a body.
+type FuncInfo struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// Interproc is the shared interprocedural state: the call graph plus the
+// per-function effect summaries (summary.go). It is built once per Program
+// and cached.
+type Interproc struct {
+	prog *Program
+
+	// Funcs maps every module-internal function with a body to its info.
+	Funcs map[*types.Func]*FuncInfo
+	// order is Funcs in deterministic (file-position) order.
+	order []*FuncInfo
+
+	// named is every non-interface named type declared in the module, the
+	// candidate set for interface-satisfaction call resolution.
+	named []*types.Named
+	// ifaceCache memoizes resolveInterface per (interface, method).
+	ifaceCache map[ifaceKey][]*types.Func
+
+	summaries map[*types.Func]*Summary
+}
+
+type ifaceKey struct {
+	iface  *types.Interface
+	method string
+}
+
+// Interproc returns the program's interprocedural state, building it on
+// first use.
+func (prog *Program) Interproc() *Interproc {
+	if prog.ip == nil {
+		prog.ip = buildInterproc(prog)
+	}
+	return prog.ip
+}
+
+func buildInterproc(prog *Program) *Interproc {
+	ip := &Interproc{
+		prog:       prog,
+		Funcs:      make(map[*types.Func]*FuncInfo),
+		ifaceCache: make(map[ifaceKey][]*types.Func),
+		summaries:  make(map[*types.Func]*Summary),
+	}
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := &FuncInfo{Fn: fn, Decl: fd, Pkg: pkg}
+				ip.Funcs[fn] = fi
+				ip.order = append(ip.order, fi)
+			}
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			ip.named = append(ip.named, named)
+		}
+	}
+	sort.Slice(ip.order, func(i, j int) bool {
+		return ip.order[i].Decl.Pos() < ip.order[j].Decl.Pos()
+	})
+	sort.Slice(ip.named, func(i, j int) bool {
+		return ip.named[i].Obj().Pos() < ip.named[j].Obj().Pos()
+	})
+	ip.computeSummaries()
+	return ip
+}
+
+// Callees resolves one call expression to the module-internal functions it
+// may invoke. Static calls resolve to exactly one; interface calls resolve
+// to every module type satisfying the interface; anything else (builtins,
+// function values, stdlib) resolves to nothing.
+func (ip *Interproc) Callees(info *types.Info, call *ast.CallExpr) []*types.Func {
+	targets, _ := ip.CallTargets(info, call)
+	return targets
+}
+
+// CallTargets is Callees plus whether resolution went through an interface
+// (so callers can discount wrapper self-dispatch: a method of T invoking an
+// interface value that resolves back to T's own methods is dispatching to
+// the value T wraps, not to itself).
+func (ip *Interproc) CallTargets(info *types.Info, call *ast.CallExpr) ([]*types.Func, bool) {
+	if fn := staticCallee(info, call); fn != nil {
+		if _, ok := ip.Funcs[fn]; ok {
+			return []*types.Func{fn}, false
+		}
+		return nil, false
+	}
+	// Interface method call: resolve through method-set satisfaction.
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return nil, false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok {
+		return nil, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil, false
+	}
+	iface, ok := recv.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil, false
+	}
+	return ip.resolveInterface(iface, fn), true
+}
+
+// receiverTypeName returns the declaring *types.TypeName of a method's
+// receiver (canonical per type), nil for plain functions.
+func receiverTypeName(fn *types.Func) *types.TypeName {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// sameReceiver reports whether two functions are methods of the same named
+// type.
+func sameReceiver(a, b *types.Func) bool {
+	ta, tb := receiverTypeName(a), receiverTypeName(b)
+	return ta != nil && ta == tb
+}
+
+// resolveInterface returns the module-internal implementations of an
+// interface method: for every named module type whose pointer method set
+// satisfies the interface, the concrete method with the call's name.
+func (ip *Interproc) resolveInterface(iface *types.Interface, m *types.Func) []*types.Func {
+	key := ifaceKey{iface: iface, method: m.Name()}
+	if out, ok := ip.ifaceCache[key]; ok {
+		return out
+	}
+	var out []*types.Func
+	for _, named := range ip.named {
+		ptr := types.NewPointer(named)
+		if !types.Implements(ptr, iface) && !types.Implements(named, iface) {
+			continue
+		}
+		msel := types.NewMethodSet(ptr).Lookup(m.Pkg(), m.Name())
+		if msel == nil {
+			continue
+		}
+		impl, ok := msel.Obj().(*types.Func)
+		if !ok {
+			continue
+		}
+		if _, local := ip.Funcs[impl]; local {
+			out = append(out, impl)
+		}
+	}
+	ip.ifaceCache[key] = out
+	return out
+}
+
+// eachCall visits every call expression under root in source order,
+// skipping nothing: function-literal bodies are included, since a closure's
+// calls become effects of the function that builds (and usually runs or
+// launches) it.
+func eachCall(root ast.Node, fn func(*ast.CallExpr)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			fn(call)
+		}
+		return true
+	})
+}
+
+// funcPos renders a function's declaration position, for witness messages.
+func (ip *Interproc) funcPos(fn *types.Func) token.Position {
+	if fi, ok := ip.Funcs[fn]; ok {
+		return ip.prog.Fset.Position(fi.Decl.Pos())
+	}
+	return ip.prog.Fset.Position(fn.Pos())
+}

@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CopylocksAnalyzer flags two classes of silent concurrency corruption:
+//
+//  1. Copying a value whose type contains a sync primitive (Mutex, RWMutex,
+//     WaitGroup, Once, Cond, Pool, Map, or a sync/atomic type): the copy
+//     has its own lock state, so the original's exclusion no longer covers
+//     it. By-value receivers, by-value parameters, assignments from an
+//     existing value, range-clause element copies and call arguments are
+//     all flagged.
+//  2. Mixing atomic and plain access to the same struct field: a field
+//     passed by address to a sync/atomic function anywhere in the package
+//     must never also be read or written directly — the plain access races
+//     with the atomic one.
+//
+// go vet's copylocks covers part of (1) for stdlib types; this analyzer
+// additionally understands the repo's wrapper structs and reports under the
+// same directive-and-fixture discipline as the rest of sapla-lint.
+var CopylocksAnalyzer = &Analyzer{
+	Name: "copylocks",
+	Doc:  "flag copies of sync-primitive-carrying values and mixed atomic/plain field access",
+	Run:  runCopylocks,
+}
+
+func runCopylocks(p *Pass) {
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkLockFields(p, info, n.Recv, "receiver")
+				checkLockFields(p, info, n.Type.Params, "parameter")
+			case *ast.FuncLit:
+				checkLockFields(p, info, n.Type.Params, "parameter")
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if len(n.Rhs) != len(n.Lhs) {
+						break // multi-value call: no value copy to see
+					}
+					if isLockValueCopy(info, rhs) {
+						p.Reportf(n.Lhs[i].Pos(),
+							"assignment copies a %s value; the copy's lock state diverges from the original",
+							lockCarrierName(info, rhs))
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					// A := range clause defines the value ident, so its type
+					// lives in Defs rather than Types.
+					t := objectType(info, n.Value)
+					if isLockCarrierType(t) {
+						p.Reportf(n.Value.Pos(),
+							"range clause copies a %s element per iteration; iterate by index or over pointers",
+							typeString(t))
+					}
+				}
+			case *ast.CallExpr:
+				checkLockArgs(p, info, n)
+			}
+			return true
+		})
+	}
+	checkAtomicMix(p, info)
+}
+
+// checkLockFields flags by-value receiver/parameter declarations of
+// lock-carrying types.
+func checkLockFields(p *Pass, info *types.Info, fields *ast.FieldList, what string) {
+	if fields == nil {
+		return
+	}
+	for _, f := range fields.List {
+		tv, ok := info.Types[f.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if isLockCarrierType(tv.Type) {
+			p.Reportf(f.Type.Pos(), "by-value %s of type %s copies its sync primitive; use a pointer",
+				what, typeString(tv.Type))
+		}
+	}
+}
+
+// checkLockArgs flags lock-carrying values passed by value to a call.
+// Conversions and built-ins that do not copy (len/cap) are exempt.
+func checkLockArgs(p *Pass, info *types.Info, call *ast.CallExpr) {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "len", "cap", "new":
+				return
+			}
+		}
+	}
+	for _, arg := range call.Args {
+		if isLockValueCopy(info, arg) {
+			p.Reportf(arg.Pos(), "call passes a %s by value; pass a pointer",
+				lockCarrierName(info, arg))
+		}
+	}
+}
+
+// isLockValueCopy reports whether evaluating e copies an existing
+// lock-carrying value: a plain reference to a variable, field, dereference
+// or element. Freshly constructed values (composite literals, calls) carry
+// no shared state yet.
+func isLockValueCopy(info *types.Info, e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return false
+	}
+	return isLockCarrierType(typeOf(info, e))
+}
+
+// lockCarrierName renders the carrying type of e for a message.
+func lockCarrierName(info *types.Info, e ast.Expr) string {
+	return typeString(typeOf(info, e))
+}
+
+// objectType resolves an expression's type through Types, falling back to
+// the defined or used object for idents that only appear in Defs/Uses.
+func objectType(info *types.Info, e ast.Expr) types.Type {
+	if t := typeOf(info, e); t != nil {
+		return t
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if obj := info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+func typeString(t types.Type) string {
+	if t == nil {
+		return "?"
+	}
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+// isLockCarrierType reports whether t (not a pointer to it) contains a sync
+// primitive anywhere in its value layout.
+func isLockCarrierType(t types.Type) bool {
+	return carriesLock(t, make(map[types.Type]bool))
+}
+
+func carriesLock(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				switch obj.Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
+					return true
+				}
+			case "sync/atomic":
+				return true // Int32/Int64/Uint64/Bool/Value/Pointer: all no-copy
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if carriesLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return carriesLock(u.Elem(), seen)
+	}
+	// Pointers, slices, maps, channels and interfaces share, not copy.
+	return false
+}
+
+// checkAtomicMix reports struct fields accessed both atomically (passed by
+// address to a sync/atomic function) and plainly in the same package. The
+// report lands on the plain accesses: they are the racy side.
+func checkAtomicMix(p *Pass, info *types.Info) {
+	atomicFields := make(map[*types.Var]bool)
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+					if f, ok := info.Uses[sel.Sel].(*types.Var); ok && f.IsField() {
+						atomicFields[f] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			// Skip the address-of operands feeding the atomic calls.
+			if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+					if f, ok := info.Uses[sel.Sel].(*types.Var); ok && atomicFields[f] {
+						return false
+					}
+				}
+			}
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			f, ok := info.Uses[sel.Sel].(*types.Var)
+			if !ok || !f.IsField() || !atomicFields[f] {
+				return true
+			}
+			p.Reportf(sel.Sel.Pos(),
+				"field %s is accessed with sync/atomic elsewhere in this package; this plain access races with it",
+				f.Name())
+			return true
+		})
+	}
+}
+
+// isAtomicCall matches atomic.XXX(...) calls from sync/atomic.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}

@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CtxflowAnalyzer enforces context discipline on the serving path:
+//
+//  1. A function that takes a context.Context must thread it: passing
+//     context.Background() or context.TODO() to a callee that accepts a
+//     context silently detaches the callee from the caller's deadline and
+//     cancellation. Deliberate detachment (a background task that must
+//     outlive the request) carries //sapla:detach <reason>.
+//  2. Goroutines spawned in internal/server and internal/index must be
+//     cancellable: a goroutine whose transitive effects include an
+//     unbounded loop (for without a condition) must also observe a
+//     cancellation signal — a ctx.Done()/ctx.Err() check or a receive from
+//     a chan struct{} stop channel — or it leaks when the server drains.
+//
+// Both rules ride on the shared effect summaries, so the signal may live
+// arbitrarily deep in the goroutine's module-internal call tree.
+var CtxflowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "thread context.Context to callees that accept one; spawned goroutines must be cancellable",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(p *Pass) {
+	ip := p.Prog.Interproc()
+	info := p.Pkg.Info
+	goroutineScope := ctxflowGoroutineScope(p.Pkg)
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			hasCtx := funcTakesContext(info, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if hasCtx {
+						checkDroppedContext(p, info, n)
+					}
+				case *ast.GoStmt:
+					if goroutineScope {
+						checkCancellable(p, ip, info, n)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// ctxflowGoroutineScope limits the goroutine-leak rule to the packages
+// whose goroutines must die on drain: the HTTP serving layer and the
+// concurrent index (plus the analyzer's own fixtures).
+func ctxflowGoroutineScope(pkg *Package) bool {
+	return strings.HasSuffix(pkg.Path, "/server") ||
+		strings.HasSuffix(pkg.Path, "/index") ||
+		strings.Contains(pkg.Path, "lint/testdata/")
+}
+
+// funcTakesContext reports whether the function declares a context.Context
+// parameter.
+func funcTakesContext(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if tv, ok := info.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDroppedContext flags context.Background()/context.TODO() arguments
+// inside a function that has a context of its own.
+func checkDroppedContext(p *Pass, info *types.Info, call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		name := freshContextCall(info, arg)
+		if name == "" {
+			continue
+		}
+		callee := "the callee"
+		if fn := staticCallee(info, call); fn != nil {
+			callee = fn.Name()
+		} else if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			callee = sel.Sel.Name
+		}
+		p.Reportf(arg.Pos(),
+			"context.%s passed to %s inside a function that has its own context; thread the caller's ctx so cancellation propagates",
+			name, callee)
+	}
+}
+
+// freshContextCall matches context.Background() / context.TODO(), returning
+// the function name ("" for anything else).
+func freshContextCall(info *types.Info, e ast.Expr) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "context" {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// checkCancellable flags a go statement whose spawned body may loop forever
+// without ever observing a cancellation signal.
+func checkCancellable(p *Pass, ip *Interproc, info *types.Info, g *ast.GoStmt) {
+	var eff Effect
+	what := "goroutine"
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		eff = litEffects(ip, info, fun)
+	default:
+		fn := staticCallee(info, g.Call)
+		if fn == nil {
+			return // function value: opaque, nothing to prove either way
+		}
+		sum := ip.Summary(fn)
+		if sum == nil {
+			return // no body in the module (stdlib helper)
+		}
+		eff = sum.Effects
+		what = "goroutine running " + fn.Name()
+	}
+	if eff&EffForever != 0 && eff&EffCancel == 0 {
+		p.Reportf(g.Pos(),
+			"%s has an unbounded loop but never observes a cancellation signal (ctx.Done/ctx.Err or a chan struct{} receive); it leaks on shutdown",
+			what)
+	}
+}
+
+// litEffects computes the transitive effects of a function literal: its own
+// body's base effects plus the summaries of the module-internal functions
+// it calls.
+func litEffects(ip *Interproc, info *types.Info, lit *ast.FuncLit) Effect {
+	var eff Effect
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if n.Cond == nil {
+				eff |= EffForever
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isCancelChan(info, n.X) {
+				eff |= EffCancel
+			}
+		case *ast.CallExpr:
+			if isCtxSignal(info, n) {
+				eff |= EffCancel
+				return true
+			}
+			for _, callee := range ip.Callees(info, n) {
+				eff |= ip.Summary(callee).Effects
+			}
+		}
+		return true
+	})
+	return eff
+}

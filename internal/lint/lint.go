@@ -11,13 +11,18 @@
 // "file:line:col: [check] message". Intentional exceptions are annotated in
 // the source with //sapla: directives:
 //
-//	//sapla:noalloc            marks a function whose same-package call
+//	//sapla:noalloc            marks a function whose module-internal call
 //	                           closure must not allocate (marker, placed in
 //	                           the function's doc comment)
 //	//sapla:alloc <reason>     suppresses a noalloc finding on its line
 //	//sapla:floateq <reason>   suppresses a floatcmp finding on its line
 //	//sapla:nondet <reason>    suppresses a determinism finding on its line
 //	//sapla:errok <reason>     suppresses an errcheck finding on its line
+//	//sapla:volatile <reason>  suppresses a walorder finding on its line (a
+//	                           deliberately non-durable write, e.g. a
+//	                           best-effort compensation on an error path)
+//	//sapla:detach <reason>    suppresses a ctxflow finding on its line (a
+//	                           deliberately detached context or goroutine)
 //
 // Suppression directives require a reason: an annotation that does not say
 // why the exception is sound is itself a finding. A directive trailing code
@@ -31,6 +36,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding.
@@ -45,11 +51,15 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
 }
 
-// Analyzer is one named check run over a type-checked package.
+// Analyzer is one named check. Per-package analyzers set Run and are
+// invoked once per analyzed package; whole-program analyzers (lock-order
+// cycles, the noalloc closure) set RunProgram and are invoked once with a
+// package-less Pass.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name       string
+	Doc        string
+	Run        func(*Pass)
+	RunProgram func(*Pass)
 }
 
 // Pass carries one (analyzer, package) run. Analyzers report through Reportf;
@@ -84,11 +94,13 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // Directive names. DirNoalloc is a marker consumed by the noalloc analyzer;
 // the rest are per-line suppressions.
 const (
-	DirNoalloc = "noalloc"
-	DirAlloc   = "alloc"
-	DirFloatEq = "floateq"
-	DirNonDet  = "nondet"
-	DirErrOK   = "errok"
+	DirNoalloc  = "noalloc"
+	DirAlloc    = "alloc"
+	DirFloatEq  = "floateq"
+	DirNonDet   = "nondet"
+	DirErrOK    = "errok"
+	DirVolatile = "volatile"
+	DirDetach   = "detach"
 )
 
 // suppressDirective maps an analyzer to the directive that silences it.
@@ -97,16 +109,20 @@ var suppressDirective = map[string]string{
 	"floatcmp":    DirFloatEq,
 	"determinism": DirNonDet,
 	"errcheck":    DirErrOK,
+	"walorder":    DirVolatile,
+	"ctxflow":     DirDetach,
 }
 
 // knownDirectives is every accepted //sapla: directive and whether it
 // requires a reason.
 var knownDirectives = map[string]bool{
-	DirNoalloc: false,
-	DirAlloc:   true,
-	DirFloatEq: true,
-	DirNonDet:  true,
-	DirErrOK:   true,
+	DirNoalloc:  false,
+	DirAlloc:    true,
+	DirFloatEq:  true,
+	DirNonDet:   true,
+	DirErrOK:    true,
+	DirVolatile: true,
+	DirDetach:   true,
 }
 
 // directive is one parsed //sapla: comment.
@@ -190,7 +206,7 @@ func (prog *Program) indexDirectives() []Diagnostic {
 					diags = append(diags, Diagnostic{
 						Pos:   pos,
 						Check: "directive",
-						Message: fmt.Sprintf("unknown directive //sapla:%s (known: alloc, errok, floateq, nondet, noalloc)",
+						Message: fmt.Sprintf("unknown directive //sapla:%s (known: alloc, detach, errok, floateq, noalloc, nondet, volatile)",
 							d.name),
 					})
 					continue
@@ -246,7 +262,7 @@ func inRanges(rs []posRange, p token.Pos) bool {
 }
 
 // Analyzers returns the analyzers with the given names, or every analyzer
-// when no names are given. Unknown names are an error.
+// when no names are given. Unknown names are an error naming the valid set.
 func Analyzers(names ...string) ([]*Analyzer, error) {
 	all := []*Analyzer{
 		NoallocAnalyzer,
@@ -254,37 +270,94 @@ func Analyzers(names ...string) ([]*Analyzer, error) {
 		FloatcmpAnalyzer,
 		DeterminismAnalyzer,
 		ErrcheckAnalyzer,
+		WalorderAnalyzer,
+		CtxflowAnalyzer,
+		LockorderAnalyzer,
+		CopylocksAnalyzer,
 	}
 	if len(names) == 0 {
 		return all, nil
 	}
 	byName := make(map[string]*Analyzer, len(all))
+	valid := make([]string, 0, len(all))
 	for _, a := range all {
 		byName[a.Name] = a
+		valid = append(valid, a.Name)
 	}
+	sort.Strings(valid)
 	var out []*Analyzer
 	for _, n := range names {
 		a, ok := byName[n]
 		if !ok {
-			return nil, fmt.Errorf("lint: unknown check %q", n)
+			return nil, fmt.Errorf("lint: unknown check %q (valid: %s)", n, strings.Join(valid, ", "))
 		}
 		out = append(out, a)
 	}
 	return out, nil
 }
 
+// CheckTiming is one analyzer's wall-clock cost over a whole run. The
+// synthetic "(interproc)" entry is the shared call-graph + effect-summary
+// build the interprocedural analyzers amortize.
+type CheckTiming struct {
+	Check    string        `json:"check"`
+	Duration time.Duration `json:"-"`
+	Millis   float64       `json:"ms"`
+	Findings int           `json:"findings"`
+}
+
 // Run validates //sapla: directives and runs each analyzer over every
 // requested package, returning findings sorted by position.
 func (prog *Program) Run(analyzers []*Analyzer) []Diagnostic {
+	diags, _ := prog.RunTimed(analyzers)
+	return diags
+}
+
+// RunTimed is Run with per-analyzer wall-clock timing. Analyzer order is
+// check-outer so one analyzer's cost over every package aggregates into one
+// timing entry; program-level analyzers run once.
+func (prog *Program) RunTimed(analyzers []*Analyzer) ([]Diagnostic, []CheckTiming) {
 	diags := prog.indexDirectives()
-	for _, pkg := range prog.Pkgs {
-		if !pkg.Analyze {
-			continue
+	var timings []CheckTiming
+
+	// The interprocedural state is shared; build it eagerly so its cost is
+	// visible as its own entry instead of inflating the first user.
+	needIP := false
+	for _, a := range analyzers {
+		switch a.Name {
+		case "walorder", "ctxflow", "lockorder", "noalloc", "lockguard":
+			needIP = true
 		}
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, diags: &diags}
-			a.Run(pass)
+	}
+	if needIP {
+		start := time.Now()
+		prog.Interproc()
+		timings = append(timings, CheckTiming{Check: "(interproc)", Duration: time.Since(start)})
+	}
+
+	for _, a := range analyzers {
+		start := time.Now()
+		before := len(diags)
+		if a.RunProgram != nil {
+			pass := &Pass{Analyzer: a, Prog: prog, diags: &diags}
+			a.RunProgram(pass)
+		} else {
+			for _, pkg := range prog.Pkgs {
+				if !pkg.Analyze {
+					continue
+				}
+				pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, diags: &diags}
+				a.Run(pass)
+			}
 		}
+		timings = append(timings, CheckTiming{
+			Check:    a.Name,
+			Duration: time.Since(start),
+			Findings: len(diags) - before,
+		})
+	}
+	for i := range timings {
+		timings[i].Millis = float64(timings[i].Duration.Microseconds()) / 1e3
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -310,5 +383,5 @@ func (prog *Program) Run(analyzers []*Analyzer) []Diagnostic {
 		}
 		out = append(out, d)
 	}
-	return out
+	return out, timings
 }

@@ -102,6 +102,10 @@ func TestLockguard(t *testing.T)   { runFixture(t, "lockguard", "lockguard") }
 func TestFloatcmp(t *testing.T)    { runFixture(t, "floatcmp", "floatcmp") }
 func TestDeterminism(t *testing.T) { runFixture(t, "eval", "determinism") }
 func TestErrcheck(t *testing.T)    { runFixture(t, "errcheck", "errcheck") }
+func TestWalorder(t *testing.T)    { runFixture(t, "walorder", "walorder") }
+func TestCtxflow(t *testing.T)     { runFixture(t, "ctxflow", "ctxflow") }
+func TestLockorder(t *testing.T)   { runFixture(t, "lockorder", "lockorder") }
+func TestCopylocks(t *testing.T)   { runFixture(t, "copylocks", "copylocks") }
 
 // TestDirectiveValidation asserts the malformed-directive diagnostics of the
 // directive fixture programmatically: several point at full-line comments

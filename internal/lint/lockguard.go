@@ -15,13 +15,21 @@ import (
 //
 // The analysis is a forward flow over each method body: Lock/RLock on the
 // receiver's mutex marks it held, Unlock/RUnlock releases it, and a lock
-// acquired inside a branch does not leak past the branch. Methods whose name
-// ends in "Locked" are exempt by convention (the caller holds the lock), as
-// are non-method functions (constructors initialize fields before the value
-// is shared).
+// acquired inside a branch does not leak past the branch. Non-method
+// functions are exempt (constructors initialize fields before the value is
+// shared).
+//
+// Methods whose name ends in "Locked" promise that the caller holds the
+// lock; the promise is verified, not taken on faith. A Locked method's
+// body is analyzed under the assumption the receiver's mutexes are held
+// exclusively — so a Locked method that acquires the mutex itself is a
+// self-deadlock finding — and every call site of a Locked method is checked
+// to actually hold the locks the callee's body needs (transitively through
+// Locked-to-Locked calls). Acquiring a mutex the flow already marks held is
+// reported for every method.
 var LockguardAnalyzer = &Analyzer{
 	Name: "lockguard",
-	Doc:  "require methods to hold a struct's mutex when touching the fields declared after it",
+	Doc:  "require methods to hold a struct's mutex when touching the fields declared after it; verify *Locked call sites",
 	Run:  runLockguard,
 }
 
@@ -96,14 +104,12 @@ func runLockguard(p *Pass) {
 		return
 	}
 
+	needs := &lockNeeds{pass: p, byStruct: byStruct, memo: make(map[*types.Func]map[*types.Var]lockKind)}
 	for _, file := range p.Pkg.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Recv == nil || fd.Body == nil {
 				continue
-			}
-			if strings.HasSuffix(fd.Name.Name, "Locked") {
-				continue // convention: caller holds the lock
 			}
 			recvField := fd.Recv.List[0]
 			if len(recvField.Names) == 0 {
@@ -117,10 +123,139 @@ func runLockguard(p *Pass) {
 			if guards == nil {
 				continue
 			}
-			lg := &lockguardWalker{pass: p, recv: recv, guards: guards, method: fd.Name.Name}
-			lg.stmts(fd.Body.List, map[*types.Var]lockKind{})
+			lg := &lockguardWalker{pass: p, recv: recv, guards: guards, method: fd.Name.Name, needs: needs}
+			entry := map[*types.Var]lockKind{}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				// The Locked contract: the caller holds the receiver's
+				// mutexes. Analyze the body under that assumption; an
+				// acquisition inside is then a self-deadlock by contract.
+				lg.locked = true
+				for _, mu := range guards {
+					entry[mu] = lockExclusive
+				}
+			}
+			lg.stmts(fd.Body.List, entry)
 		}
 	}
+}
+
+// lockNeeds computes, per *Locked method, the receiver mutexes its body
+// (transitively, through same-struct Locked callees) needs held, memoized.
+type lockNeeds struct {
+	pass     *Pass
+	byStruct map[*types.TypeName]map[*types.Var]*types.Var
+	memo     map[*types.Func]map[*types.Var]lockKind
+	visiting map[*types.Func]bool
+}
+
+// of returns the needed-locks map for a Locked method, or nil when its body
+// is not in this package.
+func (ln *lockNeeds) of(fn *types.Func) map[*types.Var]lockKind {
+	if got, ok := ln.memo[fn]; ok {
+		return got
+	}
+	if ln.visiting == nil {
+		ln.visiting = make(map[*types.Func]bool)
+	}
+	if ln.visiting[fn] {
+		return nil // Locked-call cycle: stop, the first frame owns the result
+	}
+	fi := ln.pass.Prog.Interproc().Funcs[fn]
+	if fi == nil || fi.Decl.Recv == nil || len(fi.Decl.Recv.List[0].Names) == 0 {
+		ln.memo[fn] = nil
+		return nil
+	}
+	info := fi.Pkg.Info
+	recv, ok := info.Defs[fi.Decl.Recv.List[0].Names[0]].(*types.Var)
+	if !ok {
+		ln.memo[fn] = nil
+		return nil
+	}
+	guards := guardsForReceiver(recv.Type(), ln.byStruct)
+	if guards == nil {
+		ln.memo[fn] = nil
+		return nil
+	}
+	ln.visiting[fn] = true
+	needs := make(map[*types.Var]lockKind)
+	raise := func(mu *types.Var, kind lockKind) {
+		if kind > needs[mu] {
+			needs[mu] = kind
+		}
+	}
+	classify := func(sel *ast.SelectorExpr, write bool) {
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || info.Uses[id] != recv {
+			return
+		}
+		field, ok := info.Uses[sel.Sel].(*types.Var)
+		if !ok {
+			return
+		}
+		if mu, guarded := guards[field]; guarded {
+			kind := lockShared
+			if write {
+				kind = lockExclusive
+			}
+			raise(mu, kind)
+		}
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				switch x := ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr:
+					classify(x, true)
+				case *ast.IndexExpr:
+					if sel, ok := ast.Unparen(x.X).(*ast.SelectorExpr); ok {
+						classify(sel, true)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+				classify(sel, true)
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) > 0 {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "delete" {
+					if sel, ok := ast.Unparen(n.Args[0]).(*ast.SelectorExpr); ok {
+						classify(sel, true)
+					}
+				}
+			}
+			if callee := lockedCallee(info, recv, n); callee != nil {
+				for mu, kind := range ln.of(callee) {
+					raise(mu, kind)
+				}
+			}
+		case *ast.SelectorExpr:
+			classify(n, false)
+		}
+		return true
+	})
+	delete(ln.visiting, fn)
+	ln.memo[fn] = needs
+	return needs
+}
+
+// lockedCallee resolves a call to a same-receiver *Locked method: recv.m(...)
+// where m's name ends in Locked and its receiver is recv's struct.
+func lockedCallee(info *types.Info, recv *types.Var, call *ast.CallExpr) *types.Func {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !strings.HasSuffix(sel.Sel.Name, "Locked") {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok || info.Uses[id] != recv {
+		return nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil
+	}
+	return fn
 }
 
 // guardsForReceiver finds the guard layout for a method receiver type.
@@ -141,6 +276,8 @@ type lockguardWalker struct {
 	recv   *types.Var
 	guards map[*types.Var]*types.Var // guarded field -> mutex field
 	method string
+	locked bool // method name ends in Locked: caller-holds-lock contract
+	needs  *lockNeeds
 }
 
 // stmts walks a statement list, threading the held-lock state forward.
@@ -159,6 +296,17 @@ func (lg *lockguardWalker) stmt(stmt ast.Stmt, held map[*types.Var]lockKind) {
 			if kind == lockNone {
 				delete(held, mu)
 			} else {
+				if held[mu] != lockNone {
+					if lg.locked {
+						lg.pass.Reportf(s.X.Pos(),
+							"%s acquires %s itself; the Locked suffix promises the caller already holds it",
+							lg.method, mu.Name())
+					} else {
+						lg.pass.Reportf(s.X.Pos(),
+							"%s re-acquires %s while already holding it: self-deadlock",
+							lg.method, mu.Name())
+					}
+				}
 				held[mu] = kind
 			}
 			return
@@ -333,6 +481,11 @@ func (lg *lockguardWalker) exprs(e ast.Expr, held map[*types.Var]lockKind) {
 					}
 				}
 			}
+			// recv.fooLocked(...): the callee's contract is that its needed
+			// locks are held here — verify instead of trusting the suffix.
+			if callee := lockedCallee(lg.pass.Pkg.Info, lg.recv, n); callee != nil {
+				lg.checkLockedCall(n, callee, held)
+			}
 		case *ast.SelectorExpr:
 			lg.checkAccess(n, held, false)
 		}
@@ -384,6 +537,24 @@ func (lg *lockguardWalker) checkAccess(sel *ast.SelectorExpr, held map[*types.Va
 		lg.pass.Reportf(sel.Sel.Pos(),
 			"%s: field %s is guarded by %s but written while holding only the read lock",
 			lg.method, field.Name(), mu.Name())
+	}
+}
+
+// checkLockedCall verifies one call site of a *Locked method: every mutex
+// the callee's body (transitively) needs must be held here, exclusively
+// when the callee writes under it.
+func (lg *lockguardWalker) checkLockedCall(call *ast.CallExpr, callee *types.Func, held map[*types.Var]lockKind) {
+	for mu, need := range lg.needs.of(callee) {
+		switch have := held[mu]; {
+		case have == lockNone:
+			lg.pass.Reportf(call.Pos(),
+				"%s calls %s without holding %s (the callee touches fields %s guards)",
+				lg.method, callee.Name(), mu.Name(), mu.Name())
+		case need == lockExclusive && have == lockShared:
+			lg.pass.Reportf(call.Pos(),
+				"%s calls %s holding only the read lock on %s, but the callee writes under it",
+				lg.method, callee.Name(), mu.Name())
+		}
 	}
 }
 

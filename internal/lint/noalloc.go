@@ -10,47 +10,40 @@ import (
 // NoallocAnalyzer enforces the zero-allocation contract on the hot paths.
 // Functions annotated //sapla:noalloc — the SAPLA reduction kernel, the
 // distance workspace, the k-NN searches and the priority-queue operations —
-// and every same-package function they statically call are checked for
-// allocating constructs: make/new, heap-bound composite literals, append,
-// string concatenation, fmt calls, conversions that box a value into an
-// interface, and closure creation. Deliberate allocations (amortized buffer
-// growth, cold error paths) carry a //sapla:alloc <reason> line directive.
+// and every module-internal function they statically call (across package
+// boundaries, through the shared call graph) are checked for allocating
+// constructs: make/new, heap-bound composite literals, append, string
+// concatenation, fmt calls, conversions that box a value into an interface,
+// and closure creation. Deliberate allocations (amortized buffer growth,
+// cold error paths) carry a //sapla:alloc <reason> line directive.
 //
-// Calls through interfaces, function values and other packages are not
-// followed; the benchmark-regression harness (make benchdiff) remains the
-// end-to-end allocation check, this analyzer catches regressions at the
-// source level before they reach a benchmark run.
+// Calls through interfaces and function values are not followed; the
+// benchmark-regression harness (make benchdiff) remains the end-to-end
+// allocation check, this analyzer catches regressions at the source level
+// before they reach a benchmark run.
 var NoallocAnalyzer = &Analyzer{
-	Name: "noalloc",
-	Doc:  "flag allocating constructs in //sapla:noalloc functions and their same-package callees",
-	Run:  runNoalloc,
+	Name:       "noalloc",
+	Doc:        "flag allocating constructs in //sapla:noalloc functions and their module-internal callees",
+	RunProgram: runNoalloc,
 }
 
 func runNoalloc(p *Pass) {
-	info := p.Pkg.Info
+	ip := p.Prog.Interproc()
 
-	// Collect this package's function bodies and the annotated roots.
-	decls := make(map[*types.Func]*ast.FuncDecl)
+	// The annotated roots, in file-position order so the closure walk (and
+	// the root each function is attributed to) is deterministic.
 	var roots []*types.Func
-	for _, file := range p.Pkg.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			fn, ok := info.Defs[fd.Name].(*types.Func)
-			if !ok {
-				continue
-			}
-			decls[fn] = fd
-			if hasDirective(fd.Doc, DirNoalloc) {
-				roots = append(roots, fn)
-			}
+	for _, fi := range ip.order {
+		if fi.Pkg.Analyze && hasDirective(fi.Decl.Doc, DirNoalloc) {
+			roots = append(roots, fi.Fn)
 		}
 	}
 
-	// Walk the same-package static call closure of the roots, remembering
-	// which root pulled each function in (for the message).
+	// Walk the module-wide static call closure of the roots, remembering
+	// which root pulled each function in (for the message). Each function
+	// is checked once even when several roots reach it. Closure members in
+	// packages outside the requested patterns are still checked: the root's
+	// contract does not stop at its package boundary.
 	rootOf := make(map[*types.Func]*types.Func)
 	var queue []*types.Func
 	for _, r := range roots {
@@ -60,18 +53,18 @@ func runNoalloc(p *Pass) {
 	for len(queue) > 0 {
 		fn := queue[0]
 		queue = queue[1:]
-		fd := decls[fn]
-		checkNoalloc(p, fd, fn, rootOf[fn])
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
+		fi := ip.Funcs[fn]
+		checkNoalloc(p, fi, rootOf[fn])
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
 			}
-			callee := staticCallee(info, call)
+			callee := staticCallee(fi.Pkg.Info, call)
 			if callee == nil {
 				return true
 			}
-			if _, local := decls[callee]; !local {
+			if _, local := ip.Funcs[callee]; !local {
 				return true
 			}
 			if _, seen := rootOf[callee]; !seen {
@@ -129,8 +122,9 @@ func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
 }
 
 // checkNoalloc flags allocating constructs in one function body.
-func checkNoalloc(p *Pass, fd *ast.FuncDecl, fn, root *types.Func) {
-	info := p.Pkg.Info
+func checkNoalloc(p *Pass, fi *FuncInfo, root *types.Func) {
+	fd, fn := fi.Decl, fi.Fn
+	info := fi.Pkg.Info
 	where := ""
 	if root != fn {
 		where = " (in the //sapla:noalloc closure of " + root.Name() + ")"

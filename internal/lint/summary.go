@@ -1,0 +1,391 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Effect is a bitset of the side effects a function may perform, directly
+// or through any module-internal callee.
+type Effect uint16
+
+const (
+	// EffWALAppend: appends a record to the durable WAL (an Append* method
+	// on a type named Store).
+	EffWALAppend Effect = 1 << iota
+	// EffRespWrite: writes an HTTP response (Write/WriteHeader on a
+	// ResponseWriter interface value).
+	EffRespWrite
+	// EffMutate: mutates the serving index (Insert/Delete on a type named
+	// ConcurrentIndex).
+	EffMutate
+	// EffSpawn: launches a goroutine.
+	EffSpawn
+	// EffForever: contains a for-loop with no condition (runs until an
+	// explicit exit).
+	EffForever
+	// EffCancel: observes a cancellation signal — ctx.Done()/ctx.Err(), or
+	// a receive from a chan struct{} stop channel.
+	EffCancel
+)
+
+// ackClass classifies whether a response write acknowledges success. The
+// lattice order used by ackJoin is ackNo < ackParam < ackUnknown < ackYes.
+type ackClass uint8
+
+const (
+	// ackNo: every observed status is a constant >= 300 (an error reply).
+	ackNo ackClass = iota
+	// ackParam: the status is the function's param-th parameter; call sites
+	// fold their argument through it.
+	ackParam
+	// ackUnknown: the status cannot be resolved; treated as an ack.
+	ackUnknown
+	// ackYes: some observed status is a constant < 300 (a success reply).
+	ackYes
+)
+
+// ackInfo is the acknowledgement classification of a function's response
+// writes.
+type ackInfo struct {
+	class ackClass
+	param int // parameter index, when class == ackParam
+}
+
+// acks reports whether a call folding to this info may acknowledge success.
+func (a ackInfo) acks() bool { return a.class == ackYes || a.class == ackUnknown }
+
+// ackJoin merges two classifications conservatively: any possible ack wins;
+// two different parameter positions degrade to unknown.
+func ackJoin(a, b ackInfo) ackInfo {
+	if a.class == ackYes || b.class == ackYes {
+		return ackInfo{class: ackYes}
+	}
+	if a.class == ackUnknown || b.class == ackUnknown {
+		return ackInfo{class: ackUnknown}
+	}
+	if a.class == ackParam && b.class == ackParam {
+		if a.param == b.param {
+			return a
+		}
+		return ackInfo{class: ackUnknown}
+	}
+	if a.class == ackParam {
+		return a
+	}
+	if b.class == ackParam {
+		return b
+	}
+	return ackInfo{class: ackNo}
+}
+
+// Summary is one function's interprocedural effect summary: what it may do
+// directly or through any module-internal callee it statically reaches.
+type Summary struct {
+	// Effects is the transitive effect set.
+	Effects Effect
+	// Ack classifies the function's response writes (meaningful only when
+	// Effects has EffRespWrite).
+	Ack ackInfo
+	// Acquires maps every mutex field the function may lock, transitively,
+	// to the position of one witness acquisition (a direct Lock/RLock, or
+	// the call that reaches one).
+	Acquires map[*types.Var]token.Pos
+}
+
+// Summary returns fn's effect summary, or nil for functions outside the
+// module (or without bodies).
+func (ip *Interproc) Summary(fn *types.Func) *Summary {
+	return ip.summaries[fn]
+}
+
+// computeSummaries runs the forward dataflow fixpoint: each round re-walks
+// every function body folding callee summaries at call sites, until no
+// summary grows. Effects and acquisitions only ever grow and the ack
+// lattice has height 3, so the fixpoint terminates in a handful of rounds.
+func (ip *Interproc) computeSummaries() {
+	for _, fi := range ip.order {
+		ip.summaries[fi.Fn] = &Summary{Acquires: make(map[*types.Var]token.Pos)}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range ip.order {
+			if ip.updateSummary(fi) {
+				changed = true
+			}
+		}
+	}
+}
+
+// updateSummary recomputes one function's summary from its body and the
+// current summaries of its callees, reporting whether it grew.
+func (ip *Interproc) updateSummary(fi *FuncInfo) bool {
+	s := ip.summaries[fi.Fn]
+	eff := baseEffects(fi)
+	ack := ackInfo{class: ackNo}
+	acq := make(map[*types.Var]token.Pos, len(s.Acquires))
+
+	info := fi.Pkg.Info
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			eff |= EffSpawn
+		case *ast.ForStmt:
+			if n.Cond == nil {
+				eff |= EffForever
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isCancelChan(info, n.X) {
+				eff |= EffCancel
+			}
+		case *ast.CallExpr:
+			if isCtxSignal(info, n) {
+				eff |= EffCancel
+				return true
+			}
+			if mu := lockMutex(info, n); mu != nil {
+				if _, ok := acq[mu]; !ok {
+					acq[mu] = n.Pos()
+				}
+				return true
+			}
+			if respAck, ok := respWrite(info, fi.Decl, n); ok {
+				eff |= EffRespWrite
+				ack = ackJoin(ack, respAck)
+				return true
+			}
+			for _, callee := range ip.Callees(info, n) {
+				cs := ip.summaries[callee]
+				eff |= cs.Effects
+				if cs.Effects&EffRespWrite != 0 {
+					ack = ackJoin(ack, foldAck(info, fi.Decl, n, cs.Ack))
+				}
+				for mu := range cs.Acquires {
+					if _, ok := acq[mu]; !ok {
+						acq[mu] = n.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	grew := false
+	if eff|s.Effects != s.Effects {
+		s.Effects |= eff
+		grew = true
+	}
+	if j := ackJoin(s.Ack, ack); j != s.Ack {
+		s.Ack = j
+		grew = true
+	}
+	for mu, pos := range acq {
+		if _, ok := s.Acquires[mu]; !ok {
+			s.Acquires[mu] = pos
+			grew = true
+		}
+	}
+	return grew
+}
+
+// baseEffects assigns effects declared by a function's own identity rather
+// than its body: the WAL append and index mutation primitives are
+// recognized by receiver-type and method name so fixtures can model them
+// with local types.
+func baseEffects(fi *FuncInfo) Effect {
+	fn := fi.Fn
+	sig := fn.Type().(*types.Signature)
+	recv := sig.Recv()
+	if recv == nil {
+		return 0
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return 0
+	}
+	switch named.Obj().Name() {
+	case "Store":
+		if len(fn.Name()) > 6 && fn.Name()[:6] == "Append" {
+			return EffWALAppend
+		}
+	case "ConcurrentIndex":
+		if fn.Name() == "Insert" || fn.Name() == "Delete" {
+			return EffMutate
+		}
+	}
+	return 0
+}
+
+// respWrite matches w.Write(...)/w.WriteHeader(code) where w's type is an
+// interface named ResponseWriter (net/http's, or a fixture's local one),
+// classifying the acknowledgement from the status argument.
+func respWrite(info *types.Info, enclosing *ast.FuncDecl, call *ast.CallExpr) (ackInfo, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ackInfo{}, false
+	}
+	if sel.Sel.Name != "Write" && sel.Sel.Name != "WriteHeader" {
+		return ackInfo{}, false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return ackInfo{}, false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || !types.IsInterface(named) || named.Obj().Name() != "ResponseWriter" {
+		return ackInfo{}, false
+	}
+	if sel.Sel.Name == "Write" {
+		// A body write without an explicit status is an implicit 200, but
+		// through a generic Write we cannot see intent; treat as unknown.
+		return ackInfo{class: ackUnknown}, true
+	}
+	if len(call.Args) != 1 {
+		return ackInfo{class: ackUnknown}, true
+	}
+	return classifyStatus(info, enclosing, call.Args[0]), true
+}
+
+// foldAck folds a callee's acknowledgement through one call site: when the
+// callee's status is its param-th parameter, classify the argument actually
+// passed there.
+func foldAck(info *types.Info, enclosing *ast.FuncDecl, call *ast.CallExpr, callee ackInfo) ackInfo {
+	if callee.class != ackParam {
+		return callee
+	}
+	if callee.param >= len(call.Args) {
+		return ackInfo{class: ackUnknown}
+	}
+	return classifyStatus(info, enclosing, call.Args[callee.param])
+}
+
+// classifyStatus classifies a status-code expression: constants split at
+// 300 (success acks, errors do not), a reference to the enclosing
+// function's parameter defers to call sites, anything else is unknown.
+func classifyStatus(info *types.Info, enclosing *ast.FuncDecl, arg ast.Expr) ackInfo {
+	if tv, ok := info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if v, ok := constant.Int64Val(tv.Value); ok {
+			if v < 300 {
+				return ackInfo{class: ackYes}
+			}
+			return ackInfo{class: ackNo}
+		}
+	}
+	if id, ok := ast.Unparen(arg).(*ast.Ident); ok && enclosing != nil {
+		if obj, ok := info.Uses[id].(*types.Var); ok {
+			if idx := paramIndex(info, enclosing, obj); idx >= 0 {
+				return ackInfo{class: ackParam, param: idx}
+			}
+		}
+	}
+	return ackInfo{class: ackUnknown}
+}
+
+// paramIndex returns obj's position in the function's parameter list, or -1.
+func paramIndex(info *types.Info, fd *ast.FuncDecl, obj *types.Var) int {
+	if fd.Type.Params == nil {
+		return -1
+	}
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if info.Defs[name] == obj {
+				return idx
+			}
+			idx++
+		}
+		if len(field.Names) == 0 {
+			idx++
+		}
+	}
+	return -1
+}
+
+// isCtxSignal matches ctx.Done() / ctx.Err() on a context.Context value.
+func isCtxSignal(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Done" && sel.Sel.Name != "Err") {
+		return false
+	}
+	return isContextType(typeOf(info, sel.X))
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isCancelChan reports whether e is a channel of struct{} — the stop-channel
+// idiom. Receiving from one counts as observing a cancellation signal.
+func isCancelChan(info *types.Info, e ast.Expr) bool {
+	t := typeOf(info, e)
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// typeOf is info.Types[e].Type, tolerating missing entries.
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// lockMutex matches x.mu.Lock() / x.mu.RLock() where mu is a struct field
+// of type sync.Mutex/sync.RWMutex, returning the field (the lock class used
+// by lockorder). Unlocks return nil — only acquisitions define ordering.
+func lockMutex(info *types.Info, call *ast.CallExpr) *types.Var {
+	mu, kind := lockOp(info, call)
+	if kind == lockShared || kind == lockExclusive {
+		return mu
+	}
+	return nil
+}
+
+// lockOp classifies a call as a mutex acquisition or release on a struct
+// field, returning the field and the resulting state (lockNone = release;
+// a nil field means the call is not a mutex operation on a field).
+func lockOp(info *types.Info, call *ast.CallExpr) (*types.Var, lockKind) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, lockNone
+	}
+	var kind lockKind
+	switch sel.Sel.Name {
+	case "Lock":
+		kind = lockExclusive
+	case "RLock":
+		kind = lockShared
+	case "Unlock", "RUnlock":
+		kind = lockNone
+	default:
+		return nil, lockNone
+	}
+	fieldSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil, lockNone
+	}
+	field, ok := info.Uses[fieldSel.Sel].(*types.Var)
+	if !ok || !field.IsField() || !isMutexType(field.Type()) {
+		return nil, lockNone
+	}
+	return field, kind
+}

@@ -1,0 +1,78 @@
+// Package copylocks exercises the copylocks analyzer: copies of values that
+// carry sync primitives, and mixed atomic/plain access to the same field.
+package copylocks
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// ByValue copies the receiver's mutex on every call.
+func (g guarded) ByValue() int { // want "by-value receiver of type copylocks.guarded copies its sync primitive; use a pointer"
+	return g.n
+}
+
+// take copies its argument's mutex.
+func take(g guarded) int { // want "by-value parameter of type copylocks.guarded copies its sync primitive; use a pointer"
+	return g.n
+}
+
+// assign copies an existing value; the copy's lock diverges.
+func assign(g *guarded) int {
+	cp := *g // want "assignment copies a copylocks.guarded value; the copy's lock state diverges from the original"
+	return cp.n
+}
+
+// iterate copies one element per iteration.
+func iterate(gs []guarded) {
+	var total int
+	for _, g := range gs { // want "range clause copies a copylocks.guarded element per iteration; iterate by index or over pointers"
+		total += g.n
+	}
+	_ = total
+}
+
+// pass hands an existing value to a call by value.
+func pass(g *guarded) {
+	take(*g) // want "call passes a copylocks.guarded by value; pass a pointer"
+}
+
+// fresh builds a new value in place: nothing shared is copied.
+func fresh() *guarded {
+	g := guarded{}
+	return &g
+}
+
+type counter struct {
+	v atomic.Int64
+}
+
+// snapshot copies the atomic counter wholesale.
+func snapshot(c counter) int64 { // want "by-value parameter of type copylocks.counter copies its sync primitive; use a pointer"
+	return c.v.Load()
+}
+
+type stats struct {
+	hits  int64
+	total int64
+}
+
+// bump touches hits atomically.
+func (s *stats) bump() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+// read races with bump: same field, no atomic load.
+func (s *stats) read() int64 {
+	return s.hits // want "field hits is accessed with sync/atomic elsewhere in this package; this plain access races with it"
+}
+
+// readTotal is silent: total is never touched atomically.
+func (s *stats) readTotal() int64 {
+	return s.total
+}

@@ -1,0 +1,92 @@
+// Package ctxflow exercises the ctxflow analyzer: functions holding a
+// context must thread it to callees that accept one, and spawned goroutines
+// with unbounded loops must observe a cancellation signal.
+package ctxflow
+
+import "context"
+
+func helper(ctx context.Context) {}
+
+// process has its own context but hands callees fresh, undying ones.
+func process(ctx context.Context) {
+	helper(context.Background()) // want "context.Background passed to helper inside a function that has its own context"
+	helper(context.TODO())       // want "context.TODO passed to helper inside a function that has its own context"
+	helper(ctx)
+}
+
+// root has no context of its own; starting from Background is the only
+// option and is not flagged.
+func root() {
+	helper(context.Background())
+}
+
+// detached detaches deliberately and says why.
+func detached(ctx context.Context) {
+	go helper(context.Background()) //sapla:detach fixture model of a background task that must outlive the request
+}
+
+// spin loops forever and never looks at any cancellation signal.
+func spin() {
+	for {
+	}
+}
+
+// launchLeak spawns the unbounded loop: it leaks on shutdown.
+func launchLeak() {
+	go spin() // want "goroutine running spin has an unbounded loop but never observes a cancellation signal"
+}
+
+// launchLitLeak spawns an unbounded literal with the same problem.
+func launchLitLeak() {
+	go func() { // want "goroutine has an unbounded loop but never observes a cancellation signal"
+		for {
+		}
+	}()
+}
+
+// launchCancellable spawns loops that watch ctx.Done or a stop channel.
+func launchCancellable(ctx context.Context, stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+		}
+	}()
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// stopped observes the stop channel on pump's behalf.
+func stopped(stop chan struct{}) bool {
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// pump loops forever but observes cancellation transitively through
+// stopped; the signal lives one call deep.
+func pump(stop chan struct{}) {
+	for {
+		if stopped(stop) {
+			return
+		}
+	}
+}
+
+// launchPump is silent: the spawned tree contains a cancellation check.
+func launchPump(stop chan struct{}) {
+	go pump(stop)
+}

@@ -56,9 +56,73 @@ func (c *counter) BranchLocal(b bool) {
 	c.last = "x" // want "BranchLocal: field last is guarded by mu but accessed without holding it"
 }
 
-// resetLocked relies on the caller holding the lock; the Locked suffix
-// exempts it by convention.
+// resetLocked relies on the caller holding the lock; its body is analyzed
+// under that assumption, and its call sites are verified below.
 func (c *counter) resetLocked() {
 	c.n = 0
 	c.last = ""
+}
+
+// setLocked writes a guarded field under the caller's lock.
+func (c *counter) setLocked(v int) {
+	c.n = v
+}
+
+// peekLocked only reads, so the shared lock suffices at call sites.
+func (c *counter) peekLocked() int {
+	return c.n
+}
+
+// clearLocked delegates to resetLocked; its needed locks are computed
+// transitively through the Locked chain.
+func (c *counter) clearLocked() {
+	c.resetLocked()
+}
+
+// CallsLockedHeld honours the contract: exclusive lock, then the helper.
+func (c *counter) CallsLockedHeld(v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.setLocked(v)
+}
+
+// ReadPath holds the read lock for a read-only Locked helper: fine.
+func (c *counter) ReadPath() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.peekLocked()
+}
+
+// CallsLockedUnheld trusts the suffix without holding anything.
+func (c *counter) CallsLockedUnheld(v int) {
+	c.setLocked(v) // want "CallsLockedUnheld calls setLocked without holding mu"
+}
+
+// CallsLockedRead holds only the read lock while the helper writes.
+func (c *counter) CallsLockedRead(v int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.setLocked(v) // want "CallsLockedRead calls setLocked holding only the read lock on mu, but the callee writes under it"
+}
+
+// CallsChainUnheld reaches the write through the Locked chain, lockless.
+func (c *counter) CallsChainUnheld() {
+	c.clearLocked() // want "CallsChainUnheld calls clearLocked without holding mu"
+}
+
+// acquireLocked breaks the contract from the inside: the suffix promises
+// the caller holds mu, so taking it here is a self-deadlock.
+func (c *counter) acquireLocked() {
+	c.mu.Lock() // want "acquireLocked acquires mu itself; the Locked suffix promises the caller already holds it"
+	c.n = 0
+	c.mu.Unlock()
+}
+
+// Reacquire double-acquires outside any Locked contract.
+func (c *counter) Reacquire() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mu.Lock() // want "Reacquire re-acquires mu while already holding it: self-deadlock"
+	c.n++
+	c.mu.Unlock()
 }

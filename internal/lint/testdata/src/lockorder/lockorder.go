@@ -1,0 +1,86 @@
+// Package lockorder exercises the lockorder analyzer: cycles in the
+// module-wide lock-acquisition-order graph, with at least one edge recorded
+// through a callee's transitive acquire set.
+package lockorder
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	mu sync.Mutex
+	n  int
+}
+
+type pair struct {
+	a *A
+	b *B
+}
+
+// aThenB takes A.mu before B.mu directly.
+func (p *pair) aThenB() {
+	p.a.mu.Lock()
+	defer p.a.mu.Unlock()
+	p.b.mu.Lock() // want "lock order cycle: aThenB acquires B.mu while holding A.mu; another path acquires them in the opposite order"
+	p.b.n++
+	p.b.mu.Unlock()
+	p.a.n++
+}
+
+// bumpA acquires A.mu on its caller's behalf.
+func bumpA(a *A) {
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+}
+
+// bThenA takes B.mu, then reaches A.mu through bumpA: the opposite order,
+// witnessed interprocedurally.
+func (p *pair) bThenA() {
+	p.b.mu.Lock()
+	defer p.b.mu.Unlock()
+	bumpA(p.a) // want "lock order cycle: bThenA acquires A.mu while holding B.mu via bumpA; another path acquires them in the opposite order"
+}
+
+type C struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bumpC acquires C.mu itself.
+func bumpC(c *C) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// update calls bumpC while already holding C.mu: a length-one cycle.
+func (c *C) update() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bumpC(c) // want "update may re-acquire C.mu already held via bumpC: self-deadlock"
+}
+
+type D struct {
+	mu sync.Mutex
+	n  int
+}
+
+type E struct {
+	mu sync.Mutex
+	n  int
+}
+
+// ordered always takes D.mu before E.mu; a one-way edge is acyclic and
+// silent.
+func ordered(d *D, e *E) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e.mu.Lock()
+	e.n++
+	e.mu.Unlock()
+	d.n++
+}

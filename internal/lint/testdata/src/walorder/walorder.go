@@ -1,0 +1,90 @@
+// Package walorder exercises the walorder analyzer with a local model of
+// the durable serving stack: a Store whose Append* methods are WAL appends,
+// a ConcurrentIndex whose Insert/Delete are index mutations, and a local
+// ResponseWriter interface standing in for net/http's.
+package walorder
+
+type Store struct{}
+
+func (s *Store) AppendInsert(id int64) error { return nil }
+
+type ConcurrentIndex struct{}
+
+func (c *ConcurrentIndex) Insert(id int64) {}
+
+type ResponseWriter interface {
+	WriteHeader(status int)
+	Write(b []byte) (int, error)
+}
+
+type server struct {
+	store *Store
+	idx   *ConcurrentIndex
+}
+
+// handleGood follows the discipline: append, then mutate, then acknowledge.
+func (s *server) handleGood(w ResponseWriter, id int64) {
+	if err := s.store.AppendInsert(id); err != nil {
+		w.WriteHeader(500)
+		return
+	}
+	s.idx.Insert(id)
+	w.WriteHeader(200)
+}
+
+// handleAckFirst acknowledges success before the append that would make the
+// acknowledged state durable.
+func (s *server) handleAckFirst(w ResponseWriter, id int64) {
+	w.WriteHeader(200) // want "success response written before the WAL append that makes it durable"
+	_ = s.store.AppendInsert(id)
+}
+
+// handleMutateFirst applies the index mutation before logging it; a crash
+// between the two replays a log missing the applied write.
+func (s *server) handleMutateFirst(w ResponseWriter, id int64) {
+	s.idx.Insert(id)
+	_ = s.store.AppendInsert(id) // want "WAL append follows an index mutation on the same path"
+	w.WriteHeader(200)
+}
+
+// handleErrFirst writes an error status before the append: an error reply
+// acknowledges nothing, so the order is irrelevant.
+func (s *server) handleErrFirst(w ResponseWriter, id int64) {
+	w.WriteHeader(503)
+	_ = s.store.AppendInsert(id)
+}
+
+// writeStatus is a helper whose acknowledgement classification is its
+// status parameter; call sites fold their constant through it.
+func writeStatus(w ResponseWriter, status int) {
+	w.WriteHeader(status)
+}
+
+// handleHelperAck acknowledges through the helper with a success constant.
+func (s *server) handleHelperAck(w ResponseWriter, id int64) {
+	writeStatus(w, 201) // want "success response written before the WAL append that makes it durable"
+	_ = s.store.AppendInsert(id)
+}
+
+// handleHelperErr folds a constant error status through the helper: silent.
+func (s *server) handleHelperErr(w ResponseWriter, id int64) {
+	writeStatus(w, 400)
+	_ = s.store.AppendInsert(id)
+}
+
+// handleBranch acknowledges on one branch only; the merged path still
+// reaches the append with the response pending.
+func (s *server) handleBranch(w ResponseWriter, id int64, ok bool) {
+	if ok {
+		w.WriteHeader(204) // want "success response written before the WAL append that makes it durable"
+	}
+	_ = s.store.AppendInsert(id)
+}
+
+// compensate mirrors the production delete-after-failed-insert pattern: the
+// append deliberately trails the mutation it undoes, and the volatile
+// directive records why that is sound.
+func (s *server) compensate(id int64) {
+	s.idx.Insert(id)
+	_ = s.store.AppendInsert(id) //sapla:volatile fixture mirror of a compensating append: the mutation it follows is being undone, so replay order cannot matter
+}

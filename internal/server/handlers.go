@@ -147,7 +147,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := s.idx.Insert(index.NewEntry(id, req.Values, rep)); err != nil {
 		if s.store != nil {
-			_ = s.store.AppendDelete(int64(id)) //sapla:errok best-effort compensation; a broken store already refuses every later append
+			_ = s.store.AppendDelete(int64(id)) //sapla:volatile compensating append after a failed insert: the mutation it follows never took effect, and a broken store refuses every later append anyway
 		}
 		s.mu.Unlock()
 		writeErr(w, http.StatusInternalServerError, "insert: %v", err)

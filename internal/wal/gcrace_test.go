@@ -1,0 +1,135 @@
+package wal
+
+import (
+	"errors"
+	"io/fs"
+	"reflect"
+	"testing"
+)
+
+// hookFS lets a test interpose on reads, simulating another process (a
+// concurrent snapshotter's GC) mutating the directory between Open's List
+// and its ReadFile.
+type hookFS struct {
+	FS
+	onRead func(name string)
+}
+
+func (h *hookFS) ReadFile(name string) ([]byte, error) {
+	if h.onRead != nil {
+		h.onRead(name)
+	}
+	return h.FS.ReadFile(name)
+}
+
+// TestOpenSurvivesConcurrentSnapshotGC races Open against a snapshot GC:
+// the snapshot Open's listing named vanishes before the read, superseded by
+// a newer one. Open must retry from a fresh listing and recover the newer
+// state, not fail on the vanished file.
+func TestOpenSurvivesConcurrentSnapshotGC(t *testing.T) {
+	mem := NewMemFS()
+	s, _, _, err := Open(mem, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := []float64{1, 2, 3}
+	v2 := []float64{4, 5, 6}
+	if err := s.AppendIngest(1, v1); err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := s.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteSnapshot(sealed, []Series{{ID: 1, Values: v1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendIngest(2, v2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// On disk now: snap-1 plus segment 2 holding the second ingest.
+
+	raced := false
+	h := &hookFS{FS: mem}
+	h.onRead = func(name string) {
+		if _, ok := parseSeq(name, snapPrefix, snapSuffix); !ok || raced {
+			return
+		}
+		raced = true
+		// A concurrent snapshotter folds segment 2 into snapshot 2 and
+		// garbage-collects everything it supersedes — including the file
+		// Open is about to read.
+		data, err := encodeSnapshot([]Series{{ID: 1, Values: v1}, {ID: 2, Values: v2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := writeSnapshotFile(mem, snapFileName(2), data); err != nil {
+			t.Fatal(err)
+		}
+		_ = mem.Remove(snapFileName(1))
+		_ = mem.Remove(segFileName(2))
+	}
+
+	s2, series, info, err := Open(h, Options{})
+	if err != nil {
+		t.Fatalf("Open after racing GC: %v", err)
+	}
+	defer s2.Close()
+	if !raced {
+		t.Fatal("GC hook never fired; the race was not exercised")
+	}
+	if info.SnapshotSeq != 2 {
+		t.Errorf("SnapshotSeq = %d, want 2 (the superseding snapshot)", info.SnapshotSeq)
+	}
+	if info.Segments != 0 || info.Replayed != 0 {
+		t.Errorf("replayed %d records from %d segments, want none: the snapshot covers them", info.Replayed, info.Segments)
+	}
+	want := []Series{{ID: 1, Values: v1}, {ID: 2, Values: v2}}
+	if !reflect.DeepEqual(series, want) {
+		t.Errorf("recovered series = %+v, want %+v", series, want)
+	}
+}
+
+// TestOpenRetryBounded pits Open against a pathological directory where the
+// newest snapshot vanishes on every attempt. The retry must terminate with
+// the underlying not-exist error rather than loop forever.
+func TestOpenRetryBounded(t *testing.T) {
+	mem := NewMemFS()
+	seed, err := encodeSnapshot([]Series{{ID: 1, Values: []float64{1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSnapshotFile(mem, snapFileName(1), seed); err != nil {
+		t.Fatal(err)
+	}
+
+	reads := 0
+	h := &hookFS{FS: mem}
+	h.onRead = func(name string) {
+		seq, ok := parseSeq(name, snapPrefix, snapSuffix)
+		if !ok {
+			return
+		}
+		reads++
+		// Always one step ahead: install the successor, remove the file
+		// Open is reaching for.
+		if err := writeSnapshotFile(mem, snapFileName(seq+1), seed); err != nil {
+			t.Fatal(err)
+		}
+		_ = mem.Remove(name)
+	}
+
+	_, _, _, err = Open(h, Options{})
+	if err == nil {
+		t.Fatal("Open succeeded against an always-vanishing snapshot")
+	}
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Open error = %v, want fs.ErrNotExist after exhausting retries", err)
+	}
+	if want := openRetries + 1; reads != want {
+		t.Errorf("recovery attempted %d snapshot reads, want %d (initial + %d retries)", reads, want, openRetries)
+	}
+}

@@ -3,6 +3,7 @@ package wal
 import (
 	"errors"
 	"fmt"
+	"io/fs"
 	"sort"
 	"strconv"
 	"strings"
@@ -108,12 +109,35 @@ func parseSeq(name, prefix, suffix string) (uint64, bool) {
 	return seq, true
 }
 
+// openRetries bounds how many times Open re-runs recovery after losing a
+// race with a concurrent WriteSnapshot's garbage collection.
+const openRetries = 5
+
 // Open recovers the store from fsys and returns the live series (sorted by
 // ID) along with what recovery did. The final segment's torn tail, if any,
 // is truncated in place; a corrupt snapshot or a corrupt non-tail frame
 // aborts with ErrCorruptSnapshot / ErrCorruptWAL. After a successful Open
 // the store appends to the highest existing segment.
+//
+// A concurrent WriteSnapshot may garbage-collect a segment or snapshot
+// between Open's directory listing and its read of that file. The vanished
+// file is always superseded by a newer durable snapshot, so Open retries
+// recovery from a fresh listing (a bounded number of times) instead of
+// failing.
 func Open(fsys FS, opts Options) (*Store, []Series, RecoveryInfo, error) {
+	for attempt := 0; ; attempt++ {
+		s, out, info, err := openOnce(fsys, opts)
+		if err == nil || attempt == openRetries || !errors.Is(err, fs.ErrNotExist) {
+			return s, out, info, err
+		}
+		// Lost the race with a snapshot GC: the listing named a file that a
+		// newer snapshot has since superseded and removed. Re-list and
+		// recover from the newer state.
+	}
+}
+
+// openOnce runs one recovery pass over the current directory listing.
+func openOnce(fsys FS, opts Options) (*Store, []Series, RecoveryInfo, error) {
 	if opts.SyncEvery <= 0 {
 		opts.SyncEvery = 1
 	}
