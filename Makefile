@@ -61,9 +61,12 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Benchmark-regression harness: times the hot paths, writes BENCH_<date>.json
-# and fails if allocs/op regresses on a zero-allocation path.
+# and fails if allocs/op regresses on a zero-allocation path or ns/op
+# regresses beyond the tolerance (default ±10%; set BENCH_TOLERANCE=-1 to
+# disable the timing gate, e.g. on shared/noisy machines).
+BENCH_TOLERANCE ?= 0.10
 benchdiff:
-	$(GO) run ./cmd/sapla-bench
+	$(GO) run ./cmd/sapla-bench -tolerance $(BENCH_TOLERANCE)
 
 # Short fuzzing bursts over every fuzz target. Targets are discovered with
 # `go test -list`, so the list cannot drift when targets are added or

@@ -1,19 +1,24 @@
 // Command sapla-bench is the benchmark-regression harness: it times the
 // library's hot paths with testing.Benchmark, writes the results to
 // BENCH_<date>.json, and compares them against the most recent existing
-// snapshot. Allocation regressions on the zero-allocation paths (Reduce,
-// DistPAR, KNN) are hard failures — the process exits non-zero — because
-// they are invariants the code promises, not load-dependent timings.
+// snapshot. Two classes of regression are hard failures (non-zero exit):
+// allocation regressions on the zero-allocation paths (Reduce, DistPAR,
+// DistPAR/unrolled, KNN), which are invariants the code promises, and ns/op
+// regressions beyond -tolerance on any tracked benchmark, which catch the
+// slow drift alloc counters miss. A negative tolerance disables the timing
+// gate (CI machines are too noisy to compare nanoseconds across hosts; the
+// alloc gate still applies there).
 //
 // Usage:
 //
-//	sapla-bench [-dir .] [-against BENCH_2026-01-02.json]
+//	sapla-bench [-dir .] [-against BENCH_2026-01-02.json] [-tolerance 0.10]
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -23,6 +28,7 @@ import (
 	"time"
 
 	"sapla"
+	"sapla/internal/dist"
 )
 
 // result is one benchmark's tracked numbers.
@@ -44,11 +50,12 @@ type snapshot struct {
 
 // zeroAlloc names the benchmarks whose allocs/op must never regress above
 // the baseline (and should be zero).
-var zeroAlloc = []string{"Reduce", "DistPAR", "KNN"}
+var zeroAlloc = []string{"Reduce", "DistPAR", "DistPAR/unrolled", "KNN"}
 
 func main() {
 	dir := flag.String("dir", ".", "directory for BENCH_<date>.json snapshots")
 	against := flag.String("against", "", "explicit baseline snapshot (default: latest BENCH_*.json in -dir)")
+	tolerance := flag.Float64("tolerance", 0.10, "fail when any benchmark's ns/op regresses beyond this fraction; negative disables the timing gate")
 	flag.Parse()
 
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
@@ -77,7 +84,7 @@ func main() {
 			AllocsOp: r.AllocsPerOp(),
 		}
 		c := cur.Benchmarks[b.name]
-		fmt.Printf("%-12s %12.0f ns/op %8d B/op %6d allocs/op\n", b.name, c.NsOp, c.BOp, c.AllocsOp)
+		fmt.Printf("%-20s %12.0f ns/op %8d B/op %6d allocs/op\n", b.name, c.NsOp, c.BOp, c.AllocsOp)
 	}
 
 	if err := write(outPath, cur); err != nil {
@@ -106,9 +113,23 @@ func main() {
 			failed = true
 		}
 	}
-	for name, c := range cur.Benchmarks {
-		if b, ok := base.Benchmarks[name]; ok && b.NsOp > 0 {
-			fmt.Printf("  %-12s ns/op %12.0f -> %12.0f (%+.1f%%)\n", name, b.NsOp, c.NsOp, 100*(c.NsOp-b.NsOp)/b.NsOp)
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := cur.Benchmarks[name]
+		b, ok := base.Benchmarks[name]
+		if !ok || b.NsOp <= 0 {
+			continue
+		}
+		delta := (c.NsOp - b.NsOp) / b.NsOp
+		fmt.Printf("  %-20s ns/op %12.0f -> %12.0f (%+.1f%%)\n", name, b.NsOp, c.NsOp, 100*delta)
+		if *tolerance >= 0 && delta > *tolerance {
+			fmt.Printf("FAIL %s: ns/op regressed %.0f -> %.0f (%+.1f%% > %.0f%% tolerance)\n",
+				name, b.NsOp, c.NsOp, 100*delta, 100**tolerance)
+			failed = true
 		}
 	}
 	if failed {
@@ -123,8 +144,9 @@ type bench struct {
 }
 
 // benches builds the tracked hot-path benchmarks: reduction, the Dist_PAR
-// filter, single-query k-NN on a warm workspace, DBCH ingest, and the batch
-// query engine.
+// filter (scalar and unrolled-flat kernels), single-query k-NN on a warm
+// workspace, DBCH ingest (incremental and batched), arena compaction, and
+// the batch query engine.
 func benches() []bench {
 	series := randWalk(11, 1024)
 	meth := sapla.SAPLA()
@@ -193,6 +215,18 @@ func benches() []bench {
 				}
 			}
 		}},
+		{"DistPAR/unrolled", func(b *testing.B) {
+			fa, fb := dist.FlattenLinear(repA), dist.FlattenLinear(repB)
+			if fa == nil || fb == nil {
+				b.Fatal("representations did not flatten")
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if d := dist.PARFlat(fa, fb); math.IsInf(d, 1) {
+					b.Fatal("incompatible flats")
+				}
+			}
+		}},
 		{"KNN", func(b *testing.B) {
 			ws := sapla.NewSearchWorkspace()
 			if _, _, err := tree.KNNWith(ws, queries[0], 8); err != nil {
@@ -226,6 +260,40 @@ func benches() []bench {
 						b.Fatal(err)
 					}
 				}
+			}
+		}},
+		{"IngestDBCH/batch", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				t, err := sapla.NewDBCH("SAPLA")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := t.InsertBatch(entries); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"Compact", func(b *testing.B) {
+			// A fragmented tree: every third entry deleted. Compact always
+			// rebuilds when called directly, so re-running it on the already
+			// compacted tree prices exactly the rebuild.
+			t, err := sapla.NewDBCH("SAPLA")
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, e := range entries {
+				if err := t.Insert(e); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for i := 0; i < len(entries); i += 3 {
+				t.Delete(i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.Compact()
 			}
 		}},
 	}

@@ -6,6 +6,7 @@
 // Endpoints:
 //
 //	POST   /v1/ingest        {"values":[...], "id":7?}          -> store a series
+//	POST   /v1/ingest/batch  {"series":[{"values":..}, ...]}    -> store many atomically
 //	POST   /v1/knn           {"values":[...], "k":5}            -> k nearest neighbours
 //	POST   /v1/knn/batch     {"k":5, "queries":[{"values":..}]} -> many queries, one pool
 //	POST   /v1/range         {"values":[...], "radius":4.2}     -> ε-range query
@@ -57,6 +58,9 @@ func main() {
 		syncEvery = flag.Int("sync-every", 1, "WAL group-commit batch: fsync after every N records (1 = fsync each acknowledged write)")
 		snapEvery = flag.Duration("snapshot-every", 5*time.Minute, "period of the background snapshot that bounds WAL replay time")
 
+		compactEvery = flag.Duration("compact-every", time.Minute, "period of the background arena compaction check (negative = never compact)")
+		compactFrag  = flag.Float64("compact-fragmentation", 0.3, "fraction of freed arena slots that triggers a compaction")
+
 		maxSearch = flag.Int("max-inflight-search", 256, "concurrently admitted search requests before shedding with 429")
 		maxWrite  = flag.Int("max-inflight-write", 256, "concurrently admitted write requests before shedding with 429")
 	)
@@ -64,19 +68,21 @@ func main() {
 
 	safe := !*unsafeB
 	srv, err := server.New(server.Config{
-		Method:            *method,
-		M:                 *m,
-		SafeBound:         &safe,
-		Workers:           *workers,
-		MaxK:              *maxK,
-		MaxBatch:          *maxBatch,
-		MaxBodyBytes:      *maxBody,
-		RequestTimeout:    *timeout,
-		DataDir:           *dataDir,
-		SyncEvery:         *syncEvery,
-		SnapshotEvery:     *snapEvery,
-		MaxInflightSearch: *maxSearch,
-		MaxInflightWrite:  *maxWrite,
+		Method:               *method,
+		M:                    *m,
+		SafeBound:            &safe,
+		Workers:              *workers,
+		MaxK:                 *maxK,
+		MaxBatch:             *maxBatch,
+		MaxBodyBytes:         *maxBody,
+		RequestTimeout:       *timeout,
+		DataDir:              *dataDir,
+		SyncEvery:            *syncEvery,
+		SnapshotEvery:        *snapEvery,
+		CompactEvery:         *compactEvery,
+		CompactFragmentation: *compactFrag,
+		MaxInflightSearch:    *maxSearch,
+		MaxInflightWrite:     *maxWrite,
 	})
 	if err != nil {
 		log.Fatalf("sapla-serve: %v", err)

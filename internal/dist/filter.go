@@ -13,11 +13,12 @@ type Query struct {
 	Raw    ts.Series
 	Prefix *ts.Prefix
 	Rep    repr.Representation
+	Flat   *FlatLinear // flat PAR form of Rep; nil when not linear-convertible
 }
 
 // NewQuery prepares a query for filtering.
 func NewQuery(raw ts.Series, rep repr.Representation) Query {
-	return Query{Raw: raw, Prefix: ts.NewPrefix(raw), Rep: rep}
+	return Query{Raw: raw, Prefix: ts.NewPrefix(raw), Rep: rep, Flat: FlattenLinear(rep)}
 }
 
 // FilterFunc is a representation-space distance used to filter k-NN

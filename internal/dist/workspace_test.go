@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -91,16 +92,33 @@ func TestPairwisePARMatchesScalar(t *testing.T) {
 }
 
 // BenchmarkDistPAR is the benchdiff-tracked hot path: one Dist_PAR
-// evaluation between two warmed representations must not allocate.
+// evaluation between two warmed representations must not allocate. The
+// scalar sub-benchmark runs the generic merge loop; unrolled runs the
+// 4-way-unrolled kernel over pre-flattened SoA representations, the form the
+// DBCH filter path actually calls.
 func BenchmarkDistPAR(b *testing.B) {
 	reps := wsReps(b, []int64{101, 102}, 1024, 12)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := PAR(reps[0], reps[1]); err != nil {
-			b.Fatal(err)
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := PAR(reps[0], reps[1]); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
+	})
+	b.Run("unrolled", func(b *testing.B) {
+		q, c := FlattenLinear(reps[0]), FlattenLinear(reps[1])
+		if q == nil || c == nil {
+			b.Fatal("representations did not flatten")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if d := PARFlat(q, c); math.IsInf(d, 1) {
+				b.Fatal("incompatible flats")
+			}
+		}
+	})
 }
 
 // BenchmarkPairwisePAR prices the batch kernel per pair (buffer reused).

@@ -1,0 +1,285 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sapla/internal/dist"
+)
+
+// liveEnts counts the non-nil slots of the entry arena.
+func liveEnts(t *DBCH) int {
+	n := 0
+	for _, e := range t.ents {
+		if e != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// checkArenaAccounting asserts the free-list invariants: every arena slot is
+// either live or on the free list, and the entry arena agrees with Len().
+func checkArenaAccounting(t *testing.T, tree *DBCH) {
+	t.Helper()
+	if got := tree.ar.live() + len(tree.ar.free); got != tree.ar.len() {
+		t.Fatalf("node arena leak: live %d + free %d != len %d",
+			tree.ar.live(), len(tree.ar.free), tree.ar.len())
+	}
+	if got := liveEnts(tree) + len(tree.entFree); got != len(tree.ents) {
+		t.Fatalf("entry arena leak: live %d + free %d != len %d",
+			liveEnts(tree), len(tree.entFree), len(tree.ents))
+	}
+	if liveEnts(tree) != tree.Len() {
+		t.Fatalf("entry arena holds %d live entries, Len() = %d", liveEnts(tree), tree.Len())
+	}
+}
+
+// TestArenaFreeListReuse churns a tree through many delete/insert/compact
+// cycles of constant live size. Freed node and entry slots must be reused, so
+// the arenas stay bounded by their early high-water mark instead of growing
+// with the total number of operations.
+func TestArenaFreeListReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	meth := buildMethod(t, "SAPLA")
+	const n, m, count, churn = 64, 12, 200, 50
+	tree, err := NewDBCH("SAPLA", 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := make([]int, 0, count)
+	for _, e := range makeEntries(t, meth, rng, count, n, m) {
+		if err := tree.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, e.ID)
+	}
+	nextID := count
+
+	var maxNodes, maxEnts int
+	for cycle := 0; cycle < 12; cycle++ {
+		for i := 0; i < churn; i++ {
+			id := live[0]
+			live = live[1:]
+			if !tree.Delete(id) {
+				t.Fatalf("cycle %d: entry %d not found", cycle, id)
+			}
+		}
+		// Compact between the deletes and the reinserts: that is when the
+		// free lists are at their fullest (reinserting first would drain
+		// them and hide the fragmentation).
+		if cycle%4 == 3 {
+			if tree.Fragmentation() == 0 {
+				t.Fatalf("cycle %d: no fragmentation after %d deletes", cycle, churn)
+			}
+			tree.Compact()
+			if f := tree.Fragmentation(); f != 0 {
+				t.Fatalf("cycle %d: fragmentation %v after compaction", cycle, f)
+			}
+		}
+		for i := 0; i < churn; i++ {
+			raw := randWalk(rng, n)
+			rep, err := meth.Reduce(raw, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tree.Insert(NewEntry(nextID, raw, rep)); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, nextID)
+			nextID++
+		}
+		checkArenaAccounting(t, tree)
+		if tree.Len() != count {
+			t.Fatalf("cycle %d: Len = %d, want %d", cycle, tree.Len(), count)
+		}
+		// The first half establishes the high-water mark (one full compact
+		// period plus the post-compaction regrowth, whose shape legitimately
+		// differs a little from the incremental build). Later cycles must
+		// stay near it: a leak — freed slots never reused — would grow the
+		// node arena by ~churn/2 slots every cycle and blow far past 150%.
+		if cycle < 6 {
+			if tree.ar.len() > maxNodes {
+				maxNodes = tree.ar.len()
+			}
+			if len(tree.ents) > maxEnts {
+				maxEnts = len(tree.ents)
+			}
+			continue
+		}
+		if limit := maxNodes + maxNodes/2; tree.ar.len() > limit {
+			t.Fatalf("cycle %d: node arena grew to %d, past 150%% of high-water %d (slot leak)",
+				cycle, tree.ar.len(), maxNodes)
+		}
+		if len(tree.ents) > maxEnts {
+			t.Fatalf("cycle %d: entry arena grew past high-water %d to %d (slot leak)",
+				cycle, maxEnts, len(tree.ents))
+		}
+	}
+}
+
+// TestCompactMatchesBulkLoad pins the compaction contract: a compacted tree
+// is bit-identical to a fresh tree bulk-loaded with the same live entries in
+// the same (entry-id) order — identical arena layout, and k-NN answers equal
+// down to the distance bits.
+func TestCompactMatchesBulkLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	meth := buildMethod(t, "SAPLA")
+	const n, m, count = 64, 12, 150
+	tree, err := NewDBCH("SAPLA", 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range makeEntries(t, meth, rng, count, n, m) {
+		if err := tree.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id := 0; id < count; id += 4 {
+		if !tree.Delete(id) {
+			t.Fatalf("entry %d not found", id)
+		}
+	}
+	if tree.Fragmentation() == 0 {
+		t.Fatal("no fragmentation after deleting a quarter of the tree")
+	}
+
+	// The live entries in the order Compact collects them (ascending entry id).
+	var survivors []*Entry
+	for _, e := range tree.ents {
+		if e != nil {
+			survivors = append(survivors, e)
+		}
+	}
+
+	tree.Compact()
+	checkArenaAccounting(t, tree)
+
+	fresh, err := NewDBCH("SAPLA", 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.BulkLoad(survivors); err != nil {
+		t.Fatal(err)
+	}
+
+	// Structural identity, node by node.
+	if tree.root != fresh.root || tree.ar.len() != fresh.ar.len() {
+		t.Fatalf("shape mismatch: root %d/%d, nodes %d/%d",
+			tree.root, fresh.root, tree.ar.len(), fresh.ar.len())
+	}
+	for nd := int32(0); nd < int32(tree.ar.len()); nd++ {
+		if tree.ar.isLeaf[nd] != fresh.ar.isLeaf[nd] || tree.ar.count[nd] != fresh.ar.count[nd] {
+			t.Fatalf("node %d: kind/count mismatch", nd)
+		}
+		a, b := tree.ar.slotsOf(nd), fresh.ar.slotsOf(nd)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d slot %d: %d != %d", nd, i, a[i], b[i])
+			}
+		}
+		if tree.ar.hullU[nd] != fresh.ar.hullU[nd] || tree.ar.hullL[nd] != fresh.ar.hullL[nd] {
+			t.Fatalf("node %d: hull mismatch", nd)
+		}
+		if math.Float64bits(tree.ar.volume[nd]) != math.Float64bits(fresh.ar.volume[nd]) ||
+			math.Float64bits(tree.ar.coverU[nd]) != math.Float64bits(fresh.ar.coverU[nd]) ||
+			math.Float64bits(tree.ar.coverL[nd]) != math.Float64bits(fresh.ar.coverL[nd]) {
+			t.Fatalf("node %d: volume/cover bits differ", nd)
+		}
+	}
+
+	// And the observable contract: identical k-NN answers, bit for bit.
+	ws1, ws2 := NewWorkspace(), NewWorkspace()
+	for trial := 0; trial < 10; trial++ {
+		raw := randWalk(rng, n)
+		rep, err := meth.Reduce(raw, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := dist.NewQuery(raw, rep)
+		res1, st1, err1 := tree.KNNWith(ws1, q, 7)
+		res2, st2, err2 := fresh.KNNWith(ws2, q, 7)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("trial %d: %v / %v", trial, err1, err2)
+		}
+		if len(res1) != len(res2) || st1 != st2 {
+			t.Fatalf("trial %d: result shape %d/%d, stats %+v vs %+v",
+				trial, len(res1), len(res2), st1, st2)
+		}
+		for i := range res1 {
+			if res1[i].Entry != res2[i].Entry ||
+				math.Float64bits(res1[i].Dist) != math.Float64bits(res2[i].Dist) {
+				t.Fatalf("trial %d result %d: (%d, %x) vs (%d, %x)",
+					trial, i,
+					res1[i].Entry.ID, math.Float64bits(res1[i].Dist),
+					res2[i].Entry.ID, math.Float64bits(res2[i].Dist))
+			}
+		}
+	}
+}
+
+// TestInsertBatchMatchesIncremental: the batched path over a non-empty tree
+// must answer queries like the incremental path does (same membership; the
+// layouts differ, the answers may not).
+func TestInsertBatchMatchesIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	meth := buildMethod(t, "SAPLA")
+	const n, m, count = 64, 12, 120
+	entries := makeEntries(t, meth, rng, count, n, m)
+
+	batched, err := NewDBCH("SAPLA", 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched.SafeBound = true
+	// Seed a non-empty tree so InsertBatch takes the incremental-reserve
+	// path, then batch the rest in two waves.
+	for _, e := range entries[:20] {
+		if err := batched.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := batched.InsertBatch(entries[20:80]); err != nil {
+		t.Fatal(err)
+	}
+	if err := batched.InsertBatch(entries[80:]); err != nil {
+		t.Fatal(err)
+	}
+	if batched.Len() != count {
+		t.Fatalf("Len = %d, want %d", batched.Len(), count)
+	}
+	checkArenaAccounting(t, batched)
+
+	// An empty tree takes the bulk-load path.
+	bulk, err := NewDBCH("SAPLA", 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bulk.SafeBound = true
+	if err := bulk.InsertBatch(entries); err != nil {
+		t.Fatal(err)
+	}
+	if bulk.Len() != count {
+		t.Fatalf("bulk Len = %d, want %d", bulk.Len(), count)
+	}
+
+	for trial := 0; trial < 5; trial++ {
+		q := randWalk(rng, n)
+		qr, err := meth.Reduce(q, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		query := dist.NewQuery(q, qr)
+		want := trueKNN(entries, q, 5)
+		for name, tree := range map[string]*DBCH{"batched": batched, "bulk": bulk} {
+			res, _, err := tree.KNN(query, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ov := overlap(res, want); ov != 5 {
+				t.Fatalf("trial %d %s: %d/5 against linear scan", trial, name, ov)
+			}
+		}
+	}
+}

@@ -91,6 +91,63 @@ func BenchmarkLinearScanKNN(b *testing.B) {
 	benchKNN(b, NewLinearScan(), benchEntries(b, 500, 128, 12))
 }
 
+// BenchmarkIngestDBCH compares the two ingest paths over the same 500
+// entries: per-entry Insert (branch picks, splits, hull rebuilds) against
+// InsertBatch (bulk load on an empty tree, pre-reserved arenas otherwise).
+func BenchmarkIngestDBCH(b *testing.B) {
+	entries := benchEntries(b, 500, 128, 12)
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tree, err := NewDBCH("SAPLA", 2, 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, e := range entries {
+				if err := tree.Insert(e); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tree, err := NewDBCH("SAPLA", 2, 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := tree.InsertBatch(entries); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCompact prices one arena rebuild of a tree fragmented by deleting
+// every third entry. Compact always rebuilds when called directly, so the
+// steady-state iterations measure exactly the collect-reset-bulkload cycle.
+func BenchmarkCompact(b *testing.B) {
+	tree, err := NewDBCH("SAPLA", 2, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	entries := benchEntries(b, 500, 128, 12)
+	for _, e := range entries {
+		if err := tree.Insert(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < len(entries); i += 3 {
+		tree.Delete(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Compact()
+	}
+}
+
 // BenchmarkKNN is the benchdiff-tracked hot path: one DBCH k-NN search on a
 // warmed workspace must perform zero heap allocations.
 func BenchmarkKNN(b *testing.B) {

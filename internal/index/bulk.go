@@ -85,52 +85,83 @@ func (t *RTree) BulkLoad(entries []*Entry) error {
 // snapshot costs O(n log n) distances instead of insertion's repeated
 // farthest-pair scans.
 func (t *DBCH) BulkLoad(entries []*Entry) error {
-	if t.root != nil {
+	if t.root != nilNode {
 		return ErrNotEmpty
 	}
 	if len(entries) == 0 {
 		return nil
 	}
-	pivot := entries[0].Rep
+	ids := make([]int32, len(entries))
+	for i, e := range entries {
+		ids[i] = t.addEntry(e)
+	}
+	t.bulkLoad(ids)
+	t.size = len(entries)
+	return nil
+}
+
+// bulkLoad builds the tree over already-registered entry ids. The caller
+// guarantees the node arena holds no live nodes (fresh tree, or just reset
+// by Compact). Given the same entry-id ordering it is fully deterministic,
+// which is what makes a compacted tree bit-identical to a freshly
+// bulk-loaded one.
+func (t *DBCH) bulkLoad(ids []int32) {
+	pivot := ids[0]
 	type keyed struct {
-		e   *Entry
+		id  int32
 		key float64
 	}
-	sorted := make([]keyed, len(entries))
-	for i, e := range entries {
-		sorted[i] = keyed{e: e, key: t.d(e.Rep, pivot)}
+	sorted := make([]keyed, len(ids))
+	for i, id := range ids {
+		sorted[i] = keyed{id: id, key: t.dEnt(id, pivot)}
 	}
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].key < sorted[j].key })
 
-	var level []*dnode
+	t.ar.reserve(nodesForBulk(len(ids), t.maxFill))
+	level := make([]int32, 0, (len(sorted)+t.maxFill-1)/t.maxFill)
 	for lo := 0; lo < len(sorted); lo += t.maxFill {
 		hi := lo + t.maxFill
 		if hi > len(sorted) {
 			hi = len(sorted)
 		}
-		leaf := &dnode{isLeaf: true, entries: make([]*Entry, hi-lo)}
+		leaf := t.ar.alloc(true)
 		for i := lo; i < hi; i++ {
-			leaf.entries[i-lo] = sorted[i].e
+			t.ar.push(leaf, sorted[i].id)
 		}
 		t.rebuildLeafHull(leaf)
 		level = append(level, leaf)
 	}
 	for len(level) > 1 {
-		var next []*dnode
+		next := level[:0]
 		for lo := 0; lo < len(level); lo += t.maxFill {
 			hi := lo + t.maxFill
 			if hi > len(level) {
 				hi = len(level)
 			}
-			parent := &dnode{isLeaf: false, children: append([]*dnode(nil), level[lo:hi]...)}
+			parent := t.ar.alloc(false)
+			for _, c := range level[lo:hi] {
+				t.ar.push(parent, c)
+			}
 			t.rebuildInternalHull(parent)
 			next = append(next, parent)
 		}
 		level = next
 	}
 	t.root = level[0]
-	t.size = len(entries)
-	return nil
+}
+
+// nodesForBulk bounds the node count of a bulk-loaded tree over n entries:
+// the leaf level plus a geometric series of parent levels.
+func nodesForBulk(n, maxFill int) int {
+	total := 0
+	level := (n + maxFill - 1) / maxFill
+	for {
+		total += level
+		if level <= 1 {
+			return total
+		}
+		level = (level + maxFill - 1) / maxFill
+	}
 }
 
 // topVarianceDims returns the two coefficient dimensions with the largest

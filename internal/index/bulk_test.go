@@ -140,18 +140,20 @@ func TestDBCHBulkLoadMatchesKNN(t *testing.T) {
 	// Every entry must lie within its leaf's cover radii of both hull ends,
 	// transitively bounded at internal nodes — otherwise SafeBound could
 	// dismiss true neighbours.
-	var walk func(nd *dnode) int
-	walk = func(nd *dnode) int {
-		if nd.isLeaf {
-			for _, e := range nd.entries {
-				if bulk.d(e.Rep, nd.hullU) > nd.coverU+1e-9 || bulk.d(e.Rep, nd.hullL) > nd.coverL+1e-9 {
+	var walk func(nd int32) int
+	walk = func(nd int32) int {
+		if bulk.ar.isLeaf[nd] {
+			ss := bulk.ar.slotsOf(nd)
+			for _, eid := range ss {
+				if bulk.dEnt(eid, bulk.ar.hullU[nd]) > bulk.ar.coverU[nd]+1e-9 ||
+					bulk.dEnt(eid, bulk.ar.hullL[nd]) > bulk.ar.coverL[nd]+1e-9 {
 					t.Fatal("leaf cover radius does not contain entry")
 				}
 			}
-			return len(nd.entries)
+			return len(ss)
 		}
 		var total int
-		for _, c := range nd.children {
+		for _, c := range bulk.ar.slotsOf(nd) {
 			total += walk(c)
 		}
 		return total

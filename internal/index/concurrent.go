@@ -12,6 +12,21 @@ type Deleter interface {
 	Delete(id int) bool
 }
 
+// BatchInserter is implemented by indexes with a batched ingest path that
+// amortizes per-entry maintenance (the DBCH-tree's InsertBatch).
+type BatchInserter interface {
+	InsertBatch(entries []*Entry) error
+}
+
+// Compactor is implemented by indexes whose storage can fragment under
+// deletes and be rebuilt in place (the DBCH-tree's arena).
+type Compactor interface {
+	// Fragmentation reports the dead fraction of the index's storage in [0,1].
+	Fragmentation() float64
+	// Compact rebuilds the storage without changing answers.
+	Compact()
+}
+
 // ConcurrentIndex makes any Index safe for concurrent readers and writers.
 // Mutations (Insert, Delete) run under an exclusive lock; searches run under
 // a shared lock held for the whole traversal, so an in-flight KNNWith can
@@ -45,6 +60,51 @@ func (c *ConcurrentIndex) Insert(e *Entry) error {
 	}
 	c.epoch++
 	return nil
+}
+
+// InsertBatch adds a batch of entries under one exclusive lock acquisition,
+// advancing the epoch once per batch: the intermediate states are never
+// observable, so they get no epoch of their own. It falls back to per-entry
+// Insert calls (still under the single lock hold) when the wrapped index has
+// no batch path.
+func (c *ConcurrentIndex) InsertBatch(entries []*Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.inner.(BatchInserter); ok {
+		if err := b.InsertBatch(entries); err != nil {
+			return err
+		}
+	} else {
+		for _, e := range entries {
+			if err := c.inner.Insert(e); err != nil {
+				return err
+			}
+		}
+	}
+	c.epoch++
+	return nil
+}
+
+// Compact rebuilds the wrapped index's storage under the exclusive lock when
+// its fragmentation is at least minFragmentation, reporting whether a rebuild
+// ran. Compaction never changes answers, but it does move memory, so it still
+// advances the epoch: epoch equality promises bit-identical traversal state,
+// not just identical contents. Queries serialize against the rebuild via the
+// lock — the epoch scheme and RWMutex make an in-flight search and a
+// compaction mutually exclusive.
+func (c *ConcurrentIndex) Compact(minFragmentation float64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	comp, ok := c.inner.(Compactor)
+	if !ok || comp.Fragmentation() < minFragmentation {
+		return false
+	}
+	comp.Compact()
+	c.epoch++
+	return true
 }
 
 // Delete removes the entry with the given ID under the exclusive lock. It

@@ -259,3 +259,134 @@ func TestConcurrentIndexStress(t *testing.T) {
 		t.Fatalf("final Len = %d, want %d", got, coreN)
 	}
 }
+
+// TestConcurrentCompactionDuringQueries interleaves arena compaction with
+// batched writes and k-NN reads under the race detector. Compaction moves
+// every node and entry slot, so a search overlapping a rebuild without the
+// epoch/lock protocol would read freed or re-packed slots: wrong IDs, wrong
+// distances, or a straight race report. A never-deleted core set plus exact
+// distance recomputation makes those failures observable.
+func TestConcurrentCompactionDuringQueries(t *testing.T) {
+	const (
+		n     = 64
+		m     = 12
+		coreN = 20
+		chrnN = 12
+	)
+	rng := rand.New(rand.NewSource(101))
+	meth := buildMethod(t, "SAPLA")
+	core := makeEntries(t, meth, rng, coreN, n, m)
+	churn := make([]*Entry, chrnN)
+	for i := range churn {
+		raw := randWalk(rng, n)
+		rep, err := meth.Reduce(raw, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		churn[i] = NewEntry(2000+i, raw, rep)
+	}
+
+	ci := newConcurrentDBCH(t)
+	if err := ci.InsertBatch(core); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := make([]dist.Query, 4)
+	for i := range queries {
+		raw := randWalk(rng, n)
+		rep, err := meth.Reduce(raw, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries[i] = dist.NewQuery(raw, rep)
+	}
+
+	dur := 500 * time.Millisecond
+	if testing.Short() {
+		dur = 100 * time.Millisecond
+	}
+	deadline := time.Now().Add(dur)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Writer: batch-insert the churn set, delete it again — every delete
+	// leaves freed arena slots for the compactor to reclaim.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			if err := ci.InsertBatch(churn); err != nil {
+				t.Errorf("insert batch: %v", err)
+				return
+			}
+			for _, e := range churn {
+				if !ci.Delete(e.ID) {
+					t.Errorf("delete %d: not found", e.ID)
+					return
+				}
+			}
+		}
+	}()
+
+	// Compactor: threshold 0 accepts any fragmentation level, so rebuilds
+	// run as fast as the exclusive lock allows.
+	var compactions int
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			if ci.Compact(0) {
+				compactions++
+			}
+		}
+	}()
+
+	// Readers: every answer must hold the complete core set with exact
+	// distances, whatever the compactor did to the memory layout.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(q dist.Query) {
+			defer wg.Done()
+			ws := NewWorkspace()
+			for !stop.Load() {
+				res, _, err := ci.KNNWith(ws, q, coreN+chrnN)
+				if err != nil {
+					t.Errorf("knn: %v", err)
+					return
+				}
+				if len(res) < coreN {
+					t.Errorf("k-NN returned %d results, fewer than the %d core entries", len(res), coreN)
+					return
+				}
+				got := make(map[int]bool, len(res))
+				for _, rr := range res {
+					got[rr.Entry.ID] = true
+					exact := math.Sqrt(ts.EuclideanSq(q.Raw, rr.Entry.Raw))
+					if math.Abs(exact-rr.Dist) > 1e-9 {
+						t.Errorf("id %d: reported dist %g, exact %g (torn read?)", rr.Entry.ID, rr.Dist, exact)
+						return
+					}
+				}
+				for _, e := range core {
+					if !got[e.ID] {
+						t.Errorf("core id %d missing mid-compaction", e.ID)
+						return
+					}
+				}
+			}
+		}(queries[r])
+	}
+
+	for time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if compactions == 0 {
+		t.Fatal("compactor never ran; the test exercised nothing")
+	}
+	if got := ci.Len(); got != coreN {
+		t.Fatalf("final Len = %d, want %d", got, coreN)
+	}
+}

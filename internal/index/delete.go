@@ -76,71 +76,81 @@ func collectEntries(nd *rnode, out *[]*Entry) {
 }
 
 // Delete removes the entry with the given ID from the DBCH-tree, condensing
-// underfull nodes and rebuilding hulls on the path. It reports whether the
-// entry was found.
+// underfull nodes and rebuilding hulls on the path. Condensed subtrees
+// return their nodes to the arena free list; their entries keep their
+// entry-arena ids and are reinserted. It reports whether the entry was
+// found.
+//
+//sapla:noalloc
 func (t *DBCH) Delete(id int) bool {
-	if t.root == nil {
+	if t.root == nilNode {
 		return false
 	}
-	var orphans []*Entry
-	found, _ := t.deleteRec(t.root, id, &orphans)
+	t.orphans = t.orphans[:0]
+	found, _ := t.deleteRec(t.root, id)
 	if !found {
 		return false
 	}
 	t.size--
-	for !t.root.isLeaf && len(t.root.children) == 1 {
-		t.root = t.root.children[0]
+	// Shrink the root: an internal root with one child collapses; an empty
+	// leaf root resets the tree.
+	for !t.ar.isLeaf[t.root] && t.ar.count[t.root] == 1 {
+		old := t.root
+		t.root = t.ar.slotsOf(old)[0]
+		t.ar.freeNode(old)
 	}
-	if t.root.isLeaf && len(t.root.entries) == 0 {
-		t.root = nil
+	if t.ar.isLeaf[t.root] && t.ar.count[t.root] == 0 {
+		t.ar.freeNode(t.root)
+		t.root = nilNode
 	}
-	for _, e := range orphans {
-		t.size--
-		if err := t.Insert(e); err != nil {
-			panic(err) // unreachable: entries came from this tree
-		}
+	for _, eid := range t.orphans {
+		t.insertEntry(eid) // size is unchanged: the ids stay registered
 	}
 	return true
 }
 
 // deleteRec removes id under nd, rebuilding hulls bottom-up.
-func (t *DBCH) deleteRec(nd *dnode, id int, orphans *[]*Entry) (found, underflow bool) {
-	if nd.isLeaf {
-		for i, e := range nd.entries {
-			if e.ID == id {
-				nd.entries = append(nd.entries[:i], nd.entries[i+1:]...)
-				if len(nd.entries) > 0 {
+func (t *DBCH) deleteRec(nd int32, id int) (found, underflow bool) {
+	if t.ar.isLeaf[nd] {
+		for i, eid := range t.ar.slotsOf(nd) {
+			if t.ents[eid].ID == id {
+				t.ar.removeSlot(nd, i)
+				t.freeEntry(eid)
+				if t.ar.count[nd] > 0 {
 					t.rebuildLeafHull(nd)
 				}
-				return true, len(nd.entries) < t.minFill
+				return true, int(t.ar.count[nd]) < t.minFill
 			}
 		}
 		return false, false
 	}
-	for i, ch := range nd.children {
-		f, uf := t.deleteRec(ch, id, orphans)
+	for i, ch := range t.ar.slotsOf(nd) {
+		f, uf := t.deleteRec(ch, id)
 		if !f {
 			continue
 		}
 		if uf {
-			nd.children = append(nd.children[:i], nd.children[i+1:]...)
-			collectDBCHEntries(ch, orphans)
+			t.ar.removeSlot(nd, i)
+			t.collectSubtree(ch)
 		}
-		if len(nd.children) > 0 {
+		if t.ar.count[nd] > 0 {
 			t.rebuildInternalHull(nd)
 		}
-		return true, len(nd.children) < t.minFill
+		return true, int(t.ar.count[nd]) < t.minFill
 	}
 	return false, false
 }
 
-// collectDBCHEntries gathers every entry in a subtree.
-func collectDBCHEntries(nd *dnode, out *[]*Entry) {
-	if nd.isLeaf {
-		*out = append(*out, nd.entries...)
+// collectSubtree gathers every entry id in a subtree into t.orphans and
+// returns the subtree's nodes to the free list.
+func (t *DBCH) collectSubtree(nd int32) {
+	if t.ar.isLeaf[nd] {
+		t.orphans = append(t.orphans, t.ar.slotsOf(nd)...) //sapla:alloc amortised orphan-buffer growth; reused across deletes
+		t.ar.freeNode(nd)
 		return
 	}
-	for _, c := range nd.children {
-		collectDBCHEntries(c, out)
+	for _, c := range t.ar.slotsOf(nd) {
+		t.collectSubtree(c)
 	}
+	t.ar.freeNode(nd)
 }

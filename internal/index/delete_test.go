@@ -135,21 +135,22 @@ func TestDBCHDelete(t *testing.T) {
 		t.Fatal("bogus delete succeeded")
 	}
 	// Hull invariant still holds at leaves.
-	var walk func(nd *dnode) int
-	walk = func(nd *dnode) int {
-		if nd.isLeaf {
-			for _, e := range nd.entries {
-				if removed[e.ID] {
-					t.Fatalf("deleted entry %d still present", e.ID)
+	var walk func(nd int32) int
+	walk = func(nd int32) int {
+		if tree.ar.isLeaf[nd] {
+			ss := tree.ar.slotsOf(nd)
+			for _, eid := range ss {
+				if removed[tree.ents[eid].ID] {
+					t.Fatalf("deleted entry %d still present", tree.ents[eid].ID)
 				}
-				if d := tree.d(e.Rep, nd.hullU); d > nd.volume+1e-6 {
+				if d := tree.dEnt(eid, tree.ar.hullU[nd]); d > tree.ar.volume[nd]+1e-6 {
 					t.Fatal("hull invariant broken after delete")
 				}
 			}
-			return len(nd.entries)
+			return len(ss)
 		}
 		var total int
-		for _, c := range nd.children {
+		for _, c := range tree.ar.slotsOf(nd) {
 			total += walk(c)
 		}
 		return total
@@ -168,8 +169,11 @@ func TestDBCHDelete(t *testing.T) {
 	for id := 0; id < count; id++ {
 		tree.Delete(id)
 	}
-	if tree.Len() != 0 || tree.root != nil {
+	if tree.Len() != 0 || tree.root != nilNode {
 		t.Fatal("DBCH not empty after deleting everything")
+	}
+	if live := tree.ar.live(); live != 0 {
+		t.Fatalf("arena still holds %d live nodes after emptying", live)
 	}
 	if tree.Delete(1) {
 		t.Fatal("delete from empty DBCH succeeded")

@@ -22,15 +22,18 @@ type Entry struct {
 	Raw ts.Series
 	Rep repr.Representation
 
-	vec []float64 // cached coefficient vector
+	vec  []float64        // cached coefficient vector
+	flat *dist.FlatLinear // cached flat PAR form; nil when not linear-convertible
 }
 
-// NewEntry builds an entry, caching the coefficient vector. A nil
-// representation is allowed for indexes that never filter (the linear scan).
+// NewEntry builds an entry, caching the coefficient vector and the flat PAR
+// form of linear-convertible representations. A nil representation is allowed
+// for indexes that never filter (the linear scan).
 func NewEntry(id int, raw ts.Series, rep repr.Representation) *Entry {
 	e := &Entry{ID: id, Raw: raw, Rep: rep}
 	if rep != nil {
 		e.vec = rep.Coeffs()
+		e.flat = dist.FlattenLinear(rep)
 	}
 	return e
 }

@@ -298,19 +298,20 @@ func TestDBCHStatsAndFill(t *testing.T) {
 	if s.Entries != 100 || s.LeafNodes == 0 || s.Height < 2 {
 		t.Fatalf("stats = %+v", s)
 	}
-	var walk func(nd *dnode, isRoot bool) int
-	walk = func(nd *dnode, isRoot bool) int {
-		if nd.isLeaf {
-			if !isRoot && (len(nd.entries) < 2 || len(nd.entries) > 5) {
-				t.Fatalf("leaf fill %d", len(nd.entries))
+	var walk func(nd int32, isRoot bool) int
+	walk = func(nd int32, isRoot bool) int {
+		fill := int(tree.ar.count[nd])
+		if tree.ar.isLeaf[nd] {
+			if !isRoot && (fill < 2 || fill > 5) {
+				t.Fatalf("leaf fill %d", fill)
 			}
-			return len(nd.entries)
+			return fill
 		}
-		if !isRoot && (len(nd.children) < 2 || len(nd.children) > 5) {
-			t.Fatalf("internal fill %d", len(nd.children))
+		if !isRoot && (fill < 2 || fill > 5) {
+			t.Fatalf("internal fill %d", fill)
 		}
 		var total int
-		for _, c := range nd.children {
+		for _, c := range tree.ar.slotsOf(nd) {
 			total += walk(c, false)
 		}
 		return total
@@ -332,19 +333,19 @@ func TestDBCHHullInvariant(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	var walk func(nd *dnode)
-	walk = func(nd *dnode) {
-		if nd.isLeaf {
-			for _, e := range nd.entries {
-				du := tree.d(e.Rep, nd.hullU)
-				dl := tree.d(e.Rep, nd.hullL)
-				if du > nd.volume+1e-6 || dl > nd.volume+1e-6 {
-					t.Fatalf("entry escapes hull: du=%v dl=%v vol=%v", du, dl, nd.volume)
+	var walk func(nd int32)
+	walk = func(nd int32) {
+		if tree.ar.isLeaf[nd] {
+			for _, eid := range tree.ar.slotsOf(nd) {
+				du := tree.dEnt(eid, tree.ar.hullU[nd])
+				dl := tree.dEnt(eid, tree.ar.hullL[nd])
+				if du > tree.ar.volume[nd]+1e-6 || dl > tree.ar.volume[nd]+1e-6 {
+					t.Fatalf("entry escapes hull: du=%v dl=%v vol=%v", du, dl, tree.ar.volume[nd])
 				}
 			}
 			return
 		}
-		for _, c := range nd.children {
+		for _, c := range tree.ar.slotsOf(nd) {
 			walk(c)
 		}
 	}
@@ -447,6 +448,21 @@ func TestBadFillParametersFallBack(t *testing.T) {
 	}
 	if tree.minFill != 2 || tree.maxFill != 5 {
 		t.Fatalf("fill fallback = %d,%d", tree.minFill, tree.maxFill)
+	}
+}
+
+// NewDBCH rejects fill parameters that cannot support a balanced split
+// instead of silently rewriting them.
+func TestDBCHBadFillParametersRejected(t *testing.T) {
+	for _, tc := range [][2]int{{0, 5}, {2, 2}, {3, 4}, {-1, -1}, {1, 0}} {
+		if _, err := NewDBCH("SAPLA", tc[0], tc[1]); err == nil {
+			t.Fatalf("minFill=%d maxFill=%d accepted", tc[0], tc[1])
+		}
+	}
+	for _, tc := range [][2]int{{1, 1}, {2, 3}, {2, 5}, {4, 7}} {
+		if _, err := NewDBCH("SAPLA", tc[0], tc[1]); err != nil {
+			t.Fatalf("minFill=%d maxFill=%d rejected: %v", tc[0], tc[1], err)
+		}
 	}
 }
 

@@ -68,13 +68,48 @@ func (t *RTree) Range(q dist.Query, radius float64) ([]Result, SearchStats, erro
 	return rangeSearch(t.root, bound, q, radius, t.filter)
 }
 
-// Range implements RangeSearcher for the DBCH-tree.
+// Range implements RangeSearcher for the DBCH-tree: the GEMINI range query
+// over the arena — prune nodes whose bound exceeds the radius, filter leaf
+// entries, verify survivors exactly.
 func (t *DBCH) Range(q dist.Query, radius float64) ([]Result, SearchStats, error) {
-	if t.root == nil {
-		return nil, SearchStats{}, nil
+	var stats SearchStats
+	if t.root == nilNode || radius < 0 {
+		return nil, stats, nil
 	}
-	bound := func(nd treeNode) float64 { return t.bound(nd.(*dnode), q) }
-	return rangeSearch(t.root, bound, q, radius, t.filter)
+	var out []Result
+	stack := make([]int32, 1, 64)
+	stack[0] = t.root
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		stats.NodesVisited++
+		if !t.ar.isLeaf[nd] {
+			for _, c := range t.ar.slotsOf(nd) {
+				if t.boundID(q, c) <= radius {
+					stack = append(stack, c)
+				}
+			}
+			continue
+		}
+		for _, eid := range t.ar.slotsOf(nd) {
+			e := t.ents[eid]
+			stats.Filtered++
+			fd, err := t.filterEntry(q, e)
+			if err != nil {
+				return nil, stats, err
+			}
+			if fd > radius {
+				continue
+			}
+			stats.Measured++
+			exact := math.Sqrt(ts.EuclideanSq(q.Raw, e.Raw))
+			if exact <= radius {
+				out = append(out, Result{Entry: e, Dist: exact})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	return out, stats, nil
 }
 
 // Range implements RangeSearcher for the linear scan (exact).

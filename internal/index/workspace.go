@@ -12,7 +12,8 @@ import (
 // drained into. Reusing one across queries makes the steady-state search
 // allocation-free. Not safe for concurrent use: one per goroutine.
 type Workspace struct {
-	nodes   *pqueue.Heap[treeNode]
+	nodes   *pqueue.Heap[treeNode] // R-tree / interface-based frontier
+	ids     *pqueue.Heap[int32]    // DBCH arena frontier: ids never box into an interface
 	best    *pqueue.Heap[*Entry]
 	results []Result
 }
@@ -21,6 +22,7 @@ type Workspace struct {
 func NewWorkspace() *Workspace {
 	return &Workspace{
 		nodes: pqueue.NewMinHeap[treeNode](),
+		ids:   pqueue.NewMinHeap[int32](),
 		best:  pqueue.NewMaxHeap[*Entry](),
 	}
 }

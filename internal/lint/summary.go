@@ -215,7 +215,7 @@ func baseEffects(fi *FuncInfo) Effect {
 			return EffWALAppend
 		}
 	case "ConcurrentIndex":
-		if fn.Name() == "Insert" || fn.Name() == "Delete" {
+		if fn.Name() == "Insert" || fn.Name() == "InsertBatch" || fn.Name() == "Delete" {
 			return EffMutate
 		}
 	}

@@ -91,6 +91,37 @@ func (s *Server) snapshotLoop(every time.Duration) {
 	}
 }
 
+// compactLoop periodically offers the index a chance to rebuild its arenas
+// once deletes have fragmented them past the configured threshold. It exits
+// when snapStop closes (Shutdown).
+func (s *Server) compactLoop(every time.Duration) {
+	defer s.snapWG.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.snapStop:
+			return
+		case <-t.C:
+			s.compactNow()
+		}
+	}
+}
+
+// compactNow runs one compaction check against the configured fragmentation
+// threshold, recording metrics when a rebuild actually ran. The rebuild holds
+// the index's exclusive lock and advances the epoch; queries serialize
+// against it and never observe a half-moved arena.
+func (s *Server) compactNow() bool {
+	start := time.Now()
+	if !s.idx.Compact(s.cfg.CompactFragmentation) {
+		return false
+	}
+	s.metrics.compactions.Add(1)
+	s.metrics.compactTime.Observe(time.Since(start))
+	return true
+}
+
 // snapshotNow captures the live state and persists it. The state collection
 // and the segment rotation happen atomically under mu — the sealed segment
 // then holds exactly the records covered by the captured state — while the

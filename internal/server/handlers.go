@@ -13,6 +13,7 @@ import (
 	"sapla/internal/repr"
 	"sapla/internal/ts"
 	"sapla/internal/tsio"
+	"sapla/internal/wal"
 )
 
 // errorResponse is every non-2xx body.
@@ -165,6 +166,131 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusCreated, resp)
+}
+
+// ingestBatchRequest is the POST /v1/ingest/batch body. Items reuse the
+// single-ingest shape, so per-item IDs stay optional.
+type ingestBatchRequest struct {
+	Series []ingestRequest `json:"series"`
+}
+
+// ingestBatchResponse reports the stored entries; IDs[i] answers Series[i].
+type ingestBatchResponse struct {
+	IDs       []int  `json:"ids"`
+	IndexSize int    `json:"index_size"`
+	Epoch     uint64 `json:"epoch"`
+}
+
+// handleIngestBatch reduces many raw series and inserts them as one batch:
+// one WAL group append (one fsync at SyncEvery=1), one exclusive index lock
+// acquisition, one epoch. The batch is atomic — any invalid series, duplicate
+// ID or append failure rejects the whole request with nothing applied.
+func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
+	var req ingestBatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Series) == 0 {
+		writeErr(w, http.StatusBadRequest, "batch needs at least one series")
+		return
+	}
+	if len(req.Series) > s.cfg.MaxBatch {
+		writeErr(w, http.StatusBadRequest,
+			"batch of %d exceeds limit %d", len(req.Series), s.cfg.MaxBatch)
+		return
+	}
+	// Validate and reduce everything before taking the lock: reduction is the
+	// expensive part and needs no bookkeeping state.
+	reps := make([]repr.Representation, len(req.Series))
+	for i, item := range req.Series {
+		if err := s.checkSeries(item.Values); err != nil {
+			writeErr(w, http.StatusBadRequest, "series %d: %v", i, err)
+			return
+		}
+		if len(item.Values) != len(req.Series[0].Values) {
+			writeErr(w, http.StatusBadRequest,
+				"series %d length %d does not match series 0 length %d",
+				i, len(item.Values), len(req.Series[0].Values))
+			return
+		}
+		rep, err := s.reduce(item.Values)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "series %d: reduce: %v", i, err)
+			return
+		}
+		reps[i] = rep
+	}
+
+	// Same commit discipline as handleIngest, batched: IDs, the WAL group
+	// append and the index insert resolve under one mu hold, with the WAL
+	// append strictly before the insert becomes visible.
+	s.mu.Lock()
+	if s.n != 0 && len(req.Series[0].Values) != s.n {
+		n := s.n
+		s.mu.Unlock()
+		writeErr(w, http.StatusBadRequest,
+			"series length %d does not match index series length %d", len(req.Series[0].Values), n)
+		return
+	}
+	ids := make([]int, len(req.Series))
+	claimed := make(map[int]bool, len(req.Series))
+	for i, item := range req.Series {
+		if item.ID != nil {
+			id := *item.ID
+			if _, dup := s.ids[id]; dup || claimed[id] {
+				s.mu.Unlock()
+				writeErr(w, http.StatusConflict, "id %d already exists", id)
+				return
+			}
+			if id >= s.nextID {
+				s.nextID = id + 1
+			}
+			ids[i] = id
+		} else {
+			ids[i] = s.nextID
+			s.nextID++
+		}
+		claimed[ids[i]] = true
+	}
+	if s.store != nil {
+		batch := make([]wal.Series, len(req.Series))
+		for i, item := range req.Series {
+			batch[i] = wal.Series{ID: int64(ids[i]), Values: item.Values}
+		}
+		if err := s.store.AppendIngestBatch(batch); err != nil {
+			s.mu.Unlock()
+			writeErr(w, http.StatusServiceUnavailable, "wal append: %v", err)
+			return
+		}
+	}
+	entries := make([]*index.Entry, len(req.Series))
+	for i, item := range req.Series {
+		entries[i] = index.NewEntry(ids[i], item.Values, reps[i])
+	}
+	if err := s.idx.InsertBatch(entries); err != nil {
+		// Roll back whatever the batch applied: a compensating delete record
+		// per claimed ID, then the index removal, so replay converges to the
+		// served (empty-of-this-batch) state.
+		for _, id := range ids {
+			if s.store != nil {
+				_ = s.store.AppendDelete(int64(id)) //sapla:volatile compensating append after a failed batch insert: the mutation it follows never became visible, and a broken store refuses every later append anyway
+			}
+			s.idx.Delete(id)
+		}
+		s.mu.Unlock()
+		writeErr(w, http.StatusInternalServerError, "insert batch: %v", err)
+		return
+	}
+	for i, item := range req.Series {
+		s.ids[ids[i]] = item.Values
+	}
+	s.n = len(req.Series[0].Values)
+	s.mu.Unlock()
+
+	s.metrics.ingested.Add(int64(len(ids)))
+	writeJSON(w, http.StatusCreated, ingestBatchResponse{
+		IDs: ids, IndexSize: s.idx.Len(), Epoch: s.idx.Epoch(),
+	})
 }
 
 // resultJSON is one k-NN / range answer.

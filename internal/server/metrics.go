@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"sapla/internal/index"
 )
 
 // latencyBuckets are the histogram upper bounds. Exponential-ish spacing
@@ -140,6 +142,10 @@ type metrics struct {
 	ingested expvar.Int // series accepted
 	deleted  expvar.Int // series removed
 
+	// Arena maintenance: background compactions that actually rebuilt.
+	compactions expvar.Int
+	compactTime *histogram
+
 	// Durability instrumentation (zero when the WAL is disabled).
 	walSync        *histogram // WAL fsync latency, the write-path floor
 	snapshots      expvar.Int // snapshots installed
@@ -157,7 +163,7 @@ type metrics struct {
 }
 
 // endpoint names used as metric keys.
-var endpointNames = []string{"ingest", "knn", "knn_batch", "range", "delete"}
+var endpointNames = []string{"ingest", "ingest_batch", "knn", "knn_batch", "range", "delete"}
 
 func newMetrics() *metrics {
 	m := &metrics{
@@ -168,6 +174,7 @@ func newMetrics() *metrics {
 		latency:      make(map[string]*histogram, len(endpointNames)),
 		walSync:      newHistogram(),
 		snapshotTime: newHistogram(),
+		compactTime:  newHistogram(),
 	}
 	for _, name := range endpointNames {
 		m.latency[name] = newHistogram()
@@ -234,7 +241,14 @@ func (s *Server) metricsHandler(w http.ResponseWriter, r *http.Request) {
 		"series_length": s.seriesLen(),
 		"ingested":      m.ingested.Value(),
 		"deleted":       m.deleted.Value(),
+		"compactions":   m.compactions.Value(),
+		"compact_time":  json.RawMessage(m.compactTime.String()),
 	}
+	s.idx.View(func(inner index.Index) {
+		if comp, ok := inner.(index.Compactor); ok {
+			idx["fragmentation"] = comp.Fragmentation()
+		}
+	})
 	if st, ok := s.treeStats(); ok {
 		idx["tree"] = map[string]any{
 			"internal_nodes": st.InternalNodes,

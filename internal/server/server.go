@@ -76,6 +76,16 @@ type Config struct {
 	// durability enabled.
 	SnapshotEvery time.Duration
 
+	// CompactEvery is the period of the background compaction ticker that
+	// rebuilds the DBCH arena once deletes have fragmented it past
+	// CompactFragmentation. Default 1m; <0 disables the ticker (compaction
+	// then happens only via explicit calls). Unlike snapshots, compaction is
+	// purely in-memory, so the ticker runs with or without durability.
+	CompactEvery time.Duration
+	// CompactFragmentation is the dead-slot fraction in [0,1] at or above
+	// which a ticker firing actually rebuilds. Default 0.3.
+	CompactFragmentation float64
+
 	// MaxInflightSearch bounds concurrently admitted search requests
 	// (/v1/knn, /v1/knn/batch, /v1/range); excess requests are shed with
 	// 429 + Retry-After instead of queueing without bound. Default 256.
@@ -117,6 +127,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SnapshotEvery == 0 {
 		c.SnapshotEvery = 5 * time.Minute
+	}
+	if c.CompactEvery == 0 {
+		c.CompactEvery = time.Minute
+	}
+	if c.CompactFragmentation <= 0 {
+		c.CompactFragmentation = 0.3
 	}
 	if c.MaxInflightSearch <= 0 {
 		c.MaxInflightSearch = 256
@@ -228,6 +244,10 @@ func New(cfg Config) (*Server, error) {
 		s.snapWG.Add(1)
 		go s.snapshotLoop(cfg.SnapshotEvery)
 	}
+	if cfg.CompactEvery > 0 {
+		s.snapWG.Add(1)
+		go s.compactLoop(cfg.CompactEvery)
+	}
 	s.state.Store(stateReady)
 	return s, nil
 }
@@ -265,6 +285,7 @@ func (s *Server) buildHandler() http.Handler {
 	}
 
 	mux.Handle("POST /v1/ingest", api("ingest", s.writeSem, s.handleIngest))
+	mux.Handle("POST /v1/ingest/batch", api("ingest_batch", s.writeSem, s.handleIngestBatch))
 	mux.Handle("POST /v1/knn", api("knn", s.searchSem, s.handleKNN))
 	mux.Handle("POST /v1/knn/batch", api("knn_batch", s.searchSem, s.handleKNNBatch))
 	mux.Handle("POST /v1/range", api("range", s.searchSem, s.handleRange))

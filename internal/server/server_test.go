@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"sapla/internal/ts"
+	"sapla/internal/wal"
 )
 
 // newTestServer returns a Server with tight limits and its base URL.
@@ -499,4 +500,127 @@ func TestServerIngestEdgeCases(t *testing.T) {
 			t.Fatalf("empty ingest returned %d, want 400", code)
 		}
 	})
+}
+
+// TestServerIngestBatch drives the batched ingest endpoint: mixed
+// auto/explicit IDs commit atomically under one epoch, invalid batches reject
+// wholesale with nothing applied, and the WAL group append recovers the whole
+// batch after a restart.
+func TestServerIngestBatch(t *testing.T) {
+	mem := wal.NewMemFS()
+	s, hs := newTestServer(t, durableConfig(mem, 1))
+	client := hs.Client()
+	rng := rand.New(rand.NewSource(77))
+
+	series := func() ts.Series { return randWalk(rng, 64) }
+	explicit := 100
+	body := map[string]any{"series": []map[string]any{
+		{"values": series()},
+		{"id": explicit, "values": series()},
+		{"values": series()},
+	}}
+	var resp ingestBatchResponse
+	if code := doJSON(t, client, "POST", hs.URL+"/v1/ingest/batch", body, &resp); code != http.StatusCreated {
+		t.Fatalf("batch ingest: status %d", code)
+	}
+	if len(resp.IDs) != 3 || resp.IndexSize != 3 {
+		t.Fatalf("batch response: ids %v, size %d", resp.IDs, resp.IndexSize)
+	}
+	if resp.IDs[1] != explicit {
+		t.Fatalf("explicit id not honoured: got %d", resp.IDs[1])
+	}
+	if resp.Epoch != 1 {
+		t.Fatalf("batch advanced epoch to %d, want 1 (one epoch per batch)", resp.Epoch)
+	}
+	// Auto IDs continue past the explicit one.
+	if resp.IDs[2] != explicit+1 {
+		t.Fatalf("auto id after explicit = %d, want %d", resp.IDs[2], explicit+1)
+	}
+
+	// A duplicate inside the batch rejects the whole request atomically.
+	dup := map[string]any{"series": []map[string]any{
+		{"id": 200, "values": series()},
+		{"id": 200, "values": series()},
+	}}
+	var errResp errorResponse
+	if code := doJSON(t, client, "POST", hs.URL+"/v1/ingest/batch", dup, &errResp); code != http.StatusConflict {
+		t.Fatalf("duplicate batch: status %d (%s)", code, errResp.Error)
+	}
+	// A mid-batch invalid series (length differing from the first) rejects
+	// wholesale too.
+	bad := map[string]any{"series": []map[string]any{
+		{"values": series()},
+		{"values": randWalk(rng, 32)},
+	}}
+	if code := doJSON(t, client, "POST", hs.URL+"/v1/ingest/batch", bad, &errResp); code != http.StatusBadRequest {
+		t.Fatalf("invalid batch: status %d", code)
+	}
+	// An empty batch is a client error, not a no-op 201.
+	if code := doJSON(t, client, "POST", hs.URL+"/v1/ingest/batch",
+		map[string]any{"series": []map[string]any{}}, &errResp); code != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d", code)
+	}
+	if got := s.Index().Len(); got != 3 {
+		t.Fatalf("rejected batches leaked entries: Len = %d, want 3", got)
+	}
+
+	// The group-appended batch survives a clean restart.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(durableConfig(mem, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Shutdown(context.Background())
+	if got := s2.Index().Len(); got != 3 {
+		t.Fatalf("recovered Len = %d, want 3", got)
+	}
+}
+
+// TestServerCompaction checks the maintenance path end-to-end: deletes
+// fragment the arena, compactNow rebuilds it above the threshold (and
+// refuses below), and queries answer identically across the rebuild.
+func TestServerCompaction(t *testing.T) {
+	s, hs := newTestServer(t, Config{Workers: 2, CompactEvery: -1, CompactFragmentation: 0.05})
+	client := hs.Client()
+	rng := rand.New(rand.NewSource(78))
+
+	items := make([]map[string]any, 40)
+	for i := range items {
+		items[i] = map[string]any{"values": randWalk(rng, 64)}
+	}
+	var resp ingestBatchResponse
+	if code := doJSON(t, client, "POST", hs.URL+"/v1/ingest/batch",
+		map[string]any{"series": items}, &resp); code != http.StatusCreated {
+		t.Fatalf("batch ingest: status %d", code)
+	}
+
+	if s.compactNow() {
+		t.Fatal("compaction ran on an unfragmented index")
+	}
+	for _, id := range resp.IDs[:20] {
+		if code := doJSON(t, client, "DELETE", fmt.Sprintf("%s/v1/series/%d", hs.URL, id), nil, nil); code != http.StatusOK {
+			t.Fatalf("delete %d: status %d", id, code)
+		}
+	}
+	q := randWalk(rng, 64)
+	before := knnIDs(t, client, hs.URL, q, 5)
+	if !s.compactNow() {
+		t.Fatal("compaction refused on a fragmented index")
+	}
+	after := knnIDs(t, client, hs.URL, q, 5)
+	if len(before) != len(after) {
+		t.Fatalf("result count changed across compaction: %d -> %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("answer %d changed across compaction: %+v -> %+v", i, before[i], after[i])
+		}
+	}
+	if s.metrics.compactions.Value() != 1 {
+		t.Fatalf("compactions metric = %d, want 1", s.metrics.compactions.Value())
+	}
 }

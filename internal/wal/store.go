@@ -280,6 +280,52 @@ func (s *Store) AppendIngest(id int64, values []float64) error {
 	return s.append(tsio.WALRecord{Op: tsio.WALIngest, ID: id, Values: values})
 }
 
+// AppendIngestBatch durably records one ingest per series under a single
+// mutex hold. Every series is validated before any byte is written, so a bad
+// series rejects the whole batch instead of leaving a prefix in the log. The
+// batch counts as len(series) records toward group commit and is fsync'd
+// before returning whenever it completes a batch — with SyncEvery 1 that is
+// one fsync for the whole call, the point of batching.
+func (s *Store) AppendIngestBatch(series []Series) error {
+	for _, sr := range series {
+		if err := tsio.ValidateSeries(sr.Values); err != nil {
+			return err
+		}
+	}
+	if len(series) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usableLocked(); err != nil {
+		return err
+	}
+	// Frame every record into one contiguous buffer so the batch hits the
+	// segment as a single Write: a mid-batch write failure then truncates
+	// back to the pre-batch offset, never leaving a partial batch appended.
+	frames := []byte(nil)
+	for _, sr := range series {
+		payload, err := tsio.AppendWALRecord(s.buf[:0], tsio.WALRecord{Op: tsio.WALIngest, ID: sr.ID, Values: sr.Values})
+		if err != nil {
+			return err
+		}
+		s.buf = payload[:0] // keep the grown scratch buffer
+		frames = appendFrame(frames, payload)
+	}
+	if _, err := s.seg.Write(frames); err != nil {
+		if terr := s.seg.Truncate(s.segSize); terr != nil {
+			s.broken = fmt.Errorf("%w: write: %v, truncate: %v", ErrStoreBroken, err, terr)
+		}
+		return fmt.Errorf("wal: append batch: %w", err)
+	}
+	s.segSize += int64(len(frames))
+	s.unsynced += len(series)
+	if s.unsynced >= s.opts.SyncEvery {
+		return s.syncLocked()
+	}
+	return nil
+}
+
 // AppendDelete durably records "remove id".
 func (s *Store) AppendDelete(id int64) error {
 	return s.append(tsio.WALRecord{Op: tsio.WALDelete, ID: id})
