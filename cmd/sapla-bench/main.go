@@ -145,8 +145,8 @@ type bench struct {
 
 // benches builds the tracked hot-path benchmarks: reduction, the Dist_PAR
 // filter (scalar and unrolled-flat kernels), single-query k-NN on a warm
-// workspace, DBCH ingest (incremental and batched), arena compaction, and
-// the batch query engine.
+// workspace, DBCH ingest (incremental, batched, and sharded), arena
+// compaction, and the batch query engine (single-tree and scatter-gather).
 func benches() []bench {
 	series := randWalk(11, 1024)
 	meth := sapla.SAPLA()
@@ -189,6 +189,24 @@ func benches() []bench {
 		if err := tree.Insert(e); err != nil {
 			fatal(err)
 		}
+	}
+
+	// A 4-shard index over the same entries for the scatter-gather
+	// benchmarks. newSharded rebuilds one from scratch (the ingest
+	// benchmark's unit of work).
+	const benchShards = 4
+	newSharded := func() *sapla.ShardedIndex {
+		s, err := sapla.NewShardedIndex(benchShards, func(int) (sapla.Index, error) {
+			return sapla.NewDBCH("SAPLA")
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return s
+	}
+	sharded := newSharded()
+	if err := sharded.InsertBatch(entries); err != nil {
+		fatal(err)
 	}
 
 	return []bench{
@@ -270,6 +288,27 @@ func benches() []bench {
 					b.Fatal(err)
 				}
 				if err := t.InsertBatch(entries); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"IngestSharded", func(b *testing.B) {
+			// Same unit of work as IngestDBCH/batch, split across shards
+			// that commit concurrently — the win this buys at
+			// GOMAXPROCS>1 is what sharding the write lock is for.
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := newSharded().InsertBatch(entries); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"KNNSharded", func(b *testing.B) {
+			// Scatter-gather batch k-NN at (query, shard) task
+			// granularity over the 4-shard index.
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sapla.BatchKNN(sharded, queries, 8, 0); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -47,6 +47,7 @@ func main() {
 		method   = flag.String("method", "SAPLA", "reduction method (SAPLA, APLA, APCA, PLA, PAA, PAALM, CHEBY, SAX)")
 		m        = flag.Int("m", 12, "coefficient budget per series")
 		workers  = flag.Int("workers", 0, "batch k-NN workers (0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 1, "index shard count (stable-hash partitioned; a durable data dir pins the count it was created with)")
 		maxK     = flag.Int("max-k", 128, "largest k accepted per query")
 		maxBatch = flag.Int("max-batch", 256, "largest query count per batch request")
 		maxBody  = flag.Int64("max-body", 8<<20, "request body size limit in bytes")
@@ -71,6 +72,7 @@ func main() {
 		Method:               *method,
 		M:                    *m,
 		SafeBound:            &safe,
+		Shards:               *shards,
 		Workers:              *workers,
 		MaxK:                 *maxK,
 		MaxBatch:             *maxBatch,
@@ -97,8 +99,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("sapla-serve: %v", err)
 	}
-	log.Printf("sapla-serve: listening on %s (method=%s m=%d workers=%d)",
-		l.Addr(), *method, *m, *workers)
+	log.Printf("sapla-serve: listening on %s (method=%s m=%d shards=%d workers=%d)",
+		l.Addr(), *method, *m, srv.Index().NumShards(), *workers)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

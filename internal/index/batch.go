@@ -37,6 +37,12 @@ func BatchKNN(idx Index, queries []dist.Query, k, workers int) ([][]Result, []Se
 // expires early the answered prefix of out/stats stays valid and the error
 // wraps both ErrBatchCanceled and ctx's cause.
 func BatchKNNContext(ctx context.Context, idx Index, queries []dist.Query, k, workers int) ([][]Result, []SearchStats, error) {
+	// A multi-shard index fans out at (query, shard) granularity instead of
+	// whole queries, so the pool stays busy even when queries are fewer than
+	// workers; the per-query merges reproduce the single-shard answers.
+	if sh, ok := idx.(*ShardedIndex); ok && sh.NumShards() > 1 {
+		return sh.batchKNN(ctx, queries, k, workers)
+	}
 	out := make([][]Result, len(queries))
 	stats := make([]SearchStats, len(queries))
 	if len(queries) == 0 {

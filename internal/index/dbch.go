@@ -596,15 +596,7 @@ func (t *DBCH) KNNWith(ws *Workspace, q dist.Query, k int) ([]Result, SearchStat
 			}
 			stats.Measured++
 			exact := math.Sqrt(ts.EuclideanSq(q.Raw, e.Raw))
-			if best.Len() < k {
-				best.Push(exact, e)
-			} else if exact < best.PeekPriority() {
-				best.Pop()
-				best.Push(exact, e)
-			}
-			if best.Len() == k {
-				kth = best.PeekPriority()
-			}
+			kth = ws.offerBest(k, exact, e)
 		}
 	}
 	return ws.drainResults(), stats, nil

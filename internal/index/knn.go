@@ -75,15 +75,7 @@ func knnSearch(ws *Workspace, s searcher, root treeNode, q dist.Query, k int,
 			}
 			stats.Measured++
 			exact := math.Sqrt(ts.EuclideanSq(q.Raw, e.Raw))
-			if best.Len() < k {
-				best.Push(exact, e)
-			} else if exact < best.PeekPriority() {
-				best.Pop()
-				best.Push(exact, e)
-			}
-			if best.Len() == k {
-				kth = best.PeekPriority()
-			}
+			kth = ws.offerBest(k, exact, e)
 		}
 	}
 	return ws.drainResults(), stats, nil
@@ -121,21 +113,10 @@ func (s *LinearScan) KNNWith(ws *Workspace, q dist.Query, k int) ([]Result, Sear
 	if k <= 0 {
 		return nil, stats, nil
 	}
-	best := ws.best
-	best.Reset()
-	kth := math.Inf(1)
+	ws.best.Reset()
 	for _, e := range s.entries {
 		d := math.Sqrt(ts.EuclideanSq(q.Raw, e.Raw))
-		if best.Len() < k {
-			best.Push(d, e)
-			if best.Len() == k {
-				kth = best.PeekPriority()
-			}
-		} else if d < kth {
-			best.Pop()
-			best.Push(d, e)
-			kth = best.PeekPriority()
-		}
+		ws.offerBest(k, d, e)
 	}
 	return ws.drainResults(), stats, nil
 }

@@ -8,6 +8,20 @@ import (
 	"sapla/internal/ts"
 )
 
+// sortResults orders range answers by the canonical (distance, entry ID)
+// key. Distance alone would leave exact ties in traversal order, which
+// differs between tree shapes — the ID tie-break is what lets a sharded
+// range query concatenate per-shard answers and still produce byte-identical
+// output for any shard count.
+func sortResults(out []Result) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist { //sapla:floateq exact tie: the ID tie-break must fire only on bit-equal distances
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].Entry.ID < out[j].Entry.ID
+	})
+}
+
 // RangeSearcher is implemented by indexes that support ε-range queries —
 // the other query type of the GEMINI framework: return every stored series
 // within Euclidean distance radius of the query.
@@ -55,7 +69,7 @@ func rangeSearch(root treeNode, bound func(treeNode) float64, q dist.Query,
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	sortResults(out)
 	return out, stats, nil
 }
 
@@ -108,7 +122,7 @@ func (t *DBCH) Range(q dist.Query, radius float64) ([]Result, SearchStats, error
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	sortResults(out)
 	return out, stats, nil
 }
 
@@ -122,6 +136,6 @@ func (s *LinearScan) Range(q dist.Query, radius float64) ([]Result, SearchStats,
 			out = append(out, Result{Entry: e, Dist: d})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	sortResults(out)
 	return out, stats, nil
 }

@@ -1,0 +1,346 @@
+package index
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sapla/internal/dist"
+)
+
+// ErrNoShards is returned when constructing a ShardedIndex with a
+// non-positive shard count.
+var ErrNoShards = errors.New("index: shard count must be >= 1")
+
+// ShardOf maps a series ID to its shard with a splitmix64-style finalizer:
+// a stable, seedless integer hash, so the same ID lands on the same shard in
+// every process, every run and every recovery — the property the per-shard
+// WAL layout depends on (a record must replay into the shard that logged
+// it). Sequential IDs spread uniformly instead of clustering on one shard
+// the way a plain modulo would under strided workloads.
+func ShardOf(id, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	z := uint64(id) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(shards))
+}
+
+// ShardedIndex partitions entries across N independent ConcurrentIndex
+// shards by ShardOf(entry ID). Each shard owns its own tree, write lock and
+// epoch counter, so writes to different shards proceed concurrently and a
+// compacting shard never blocks the others; queries scatter across every
+// shard and gather through the canonical (distance, ID) merge, which makes
+// k-NN and range answers byte-identical to the single-shard answer for any
+// shard count.
+type ShardedIndex struct {
+	shards []*ConcurrentIndex
+}
+
+// NewSharded builds a sharded index with shards partitions, calling newInner
+// once per shard to construct its tree.
+func NewSharded(shards int, newInner func(shard int) (Index, error)) (*ShardedIndex, error) {
+	if shards < 1 {
+		return nil, ErrNoShards
+	}
+	s := &ShardedIndex{shards: make([]*ConcurrentIndex, shards)}
+	for i := range s.shards {
+		inner, err := newInner(i)
+		if err != nil {
+			return nil, fmt.Errorf("index: shard %d: %w", i, err)
+		}
+		s.shards[i] = NewConcurrent(inner)
+	}
+	return s, nil
+}
+
+// NumShards returns the partition count.
+func (s *ShardedIndex) NumShards() int { return len(s.shards) }
+
+// Shard returns shard i for direct per-shard operations (per-shard batch
+// commit, compaction, diagnostics).
+func (s *ShardedIndex) Shard(i int) *ConcurrentIndex { return s.shards[i] }
+
+// ShardFor returns the shard that owns id.
+func (s *ShardedIndex) ShardFor(id int) *ConcurrentIndex {
+	return s.shards[ShardOf(id, len(s.shards))]
+}
+
+// Insert implements Index, routing the entry to its shard.
+func (s *ShardedIndex) Insert(e *Entry) error {
+	return s.ShardFor(e.ID).Insert(e)
+}
+
+// InsertBatch splits the batch by shard and commits the per-shard groups
+// concurrently, one exclusive lock acquisition and one epoch advance per
+// touched shard. Entries keep their relative order within each shard, so the
+// resulting trees are deterministic functions of the batch contents.
+func (s *ShardedIndex) InsertBatch(entries []*Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	if len(s.shards) == 1 {
+		return s.shards[0].InsertBatch(entries)
+	}
+	groups := make([][]*Entry, len(s.shards))
+	for _, e := range entries {
+		si := ShardOf(e.ID, len(s.shards))
+		groups[si] = append(groups[si], e)
+	}
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for si := range groups {
+		if len(groups[si]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(si int) { //sapla:detach fork-join worker: wg.Wait below joins it before InsertBatch returns; the flagged loop is a bounded tree descent
+			defer wg.Done()
+			errs[si] = s.shards[si].InsertBatch(groups[si])
+		}(si)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete removes the entry with the given ID from its shard.
+func (s *ShardedIndex) Delete(id int) bool {
+	return s.ShardFor(id).Delete(id)
+}
+
+// Len implements Index as the sum of the shard sizes.
+func (s *ShardedIndex) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// Epoch returns the sum of the per-shard mutation epochs: any mutation
+// anywhere advances it, and equal sums across two observations of an
+// otherwise-quiescent index promise no shard changed between them.
+func (s *ShardedIndex) Epoch() uint64 {
+	var e uint64
+	for _, sh := range s.shards {
+		e += sh.Epoch()
+	}
+	return e
+}
+
+// Compact offers every shard a rebuild at the given fragmentation threshold
+// and reports how many shards actually rebuilt. Shards compact one at a
+// time here, and each rebuild locks only its own shard — queries and writes
+// on the other shards proceed untouched, which is the point of sharding the
+// arena maintenance.
+func (s *ShardedIndex) Compact(minFragmentation float64) int {
+	n := 0
+	for _, sh := range s.shards {
+		if sh.Compact(minFragmentation) {
+			n++
+		}
+	}
+	return n
+}
+
+// Fragmentation reports the entry-weighted mean fragmentation across shards
+// (the fraction of dead arena slots a full compaction would reclaim).
+func (s *ShardedIndex) Fragmentation() float64 {
+	var frag, weight float64
+	for _, sh := range s.shards {
+		sh.View(func(inner Index) {
+			if comp, ok := inner.(Compactor); ok {
+				w := float64(inner.Len()) + 1 // +1 keeps empty shards from dividing by zero
+				frag += comp.Fragmentation() * w
+				weight += w
+			}
+		})
+	}
+	if weight == 0 { //sapla:floateq exact zero test: weight is a sum of counts, never a rounded computation
+		return 0
+	}
+	return frag / weight
+}
+
+// addStats accumulates per-shard search work into a query's aggregate.
+func addStats(total *SearchStats, st SearchStats) {
+	total.Measured += st.Measured
+	total.Filtered += st.Filtered
+	total.NodesVisited += st.NodesVisited
+}
+
+// mergeTopK selects the k best candidates under the canonical
+// (distance, ID) order. The k-bounded tie heap keeps exactly the k smallest
+// candidates seen regardless of feed order, so the merged answer equals what
+// one tree holding every entry would return. The returned slice aliases ws.
+//
+//sapla:noalloc
+func mergeTopK(ws *Workspace, k int, cand []Result) []Result {
+	ws.best.Reset()
+	for i := range cand {
+		ws.offerBest(k, cand[i].Dist, cand[i].Entry)
+	}
+	return ws.drainResults()
+}
+
+// KNN implements Index over all shards.
+func (s *ShardedIndex) KNN(q dist.Query, k int) ([]Result, SearchStats, error) {
+	return pooledKNN(s, q, k)
+}
+
+// KNNWith implements WorkspaceSearcher by sequential scatter-gather: each
+// shard's top-k is gathered into the workspace's candidate buffer, then the
+// global top-k is selected under the canonical (distance, ID) order. Each
+// shard's top-k under that order is a superset of its contribution to the
+// global top-k, so the merge loses nothing. Every shard search runs under
+// that shard's own shared lock; the parallel fan-out lives in BatchKNN.
+//
+//sapla:noalloc
+func (s *ShardedIndex) KNNWith(ws *Workspace, q dist.Query, k int) ([]Result, SearchStats, error) {
+	if len(s.shards) == 1 {
+		return s.shards[0].KNNWith(ws, q, k)
+	}
+	var stats SearchStats
+	ws.cand = ws.cand[:0]
+	for _, sh := range s.shards {
+		res, st, err := sh.KNNWith(ws, q, k)
+		if err != nil {
+			return nil, stats, err
+		}
+		addStats(&stats, st)
+		ws.cand = append(ws.cand, res...) //sapla:alloc amortised growth of the reused gather buffer; Reset keeps capacity
+	}
+	return mergeTopK(ws, k, ws.cand), stats, nil
+}
+
+// Range implements RangeSearcher by scatter-gather: per-shard answers are
+// concatenated and sorted under the canonical (distance, ID) order, which is
+// exactly the order a single tree would return.
+func (s *ShardedIndex) Range(q dist.Query, radius float64) ([]Result, SearchStats, error) {
+	var stats SearchStats
+	var out []Result
+	for _, sh := range s.shards {
+		res, st, err := sh.Range(q, radius)
+		if err != nil {
+			return nil, stats, err
+		}
+		addStats(&stats, st)
+		out = append(out, res...)
+	}
+	sortResults(out)
+	return out, stats, nil
+}
+
+// batchKNN is the scatter-gather arm of BatchKNNContext: the work-stealing
+// pool claims (query, shard) tasks instead of whole queries, so one slow
+// shard of one query never idles a worker, and a batch saturates every core
+// even with fewer queries than GOMAXPROCS. Per-task partials land in
+// pre-assigned slots and are merged per query afterwards under the canonical
+// (distance, ID) order — results are identical for any worker count and any
+// shard count.
+func (s *ShardedIndex) batchKNN(ctx context.Context, queries []dist.Query, k, workers int) ([][]Result, []SearchStats, error) {
+	nshards := len(s.shards)
+	out := make([][]Result, len(queries))
+	stats := make([]SearchStats, len(queries))
+	if len(queries) == 0 {
+		return out, stats, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	tasks := len(queries) * nshards
+	if workers > tasks {
+		workers = tasks
+	}
+
+	partial := make([][]Result, tasks) // slot t answers query t/nshards on shard t%nshards
+	partStats := make([]SearchStats, tasks)
+	errs := make([]error, tasks)
+	taskDone := make([]bool, tasks)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			scratch := wsPool.Get().(*Workspace)
+			defer wsPool.Put(scratch)
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				t := int(next.Add(1)) - 1
+				if t >= tasks {
+					return
+				}
+				qi, si := t/nshards, t%nshards
+				res, st, err := s.shards[si].KNNWith(scratch, queries[qi], k)
+				if len(res) > 0 {
+					partial[t] = make([]Result, len(res))
+					copy(partial[t], res)
+				}
+				partStats[t], errs[t] = st, err
+				taskDone[t] = true
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Gather: merge every query whose shard set completed. On cancellation
+	// the merged queries stay valid, unfinished ones keep zero slots — the
+	// same contract as the single-index batch.
+	merge := wsPool.Get().(*Workspace)
+	completed := 0
+	var firstErr error
+	for qi := range queries {
+		all := true
+		var qerr error
+		merge.cand = merge.cand[:0]
+		for si := 0; si < nshards; si++ {
+			t := qi*nshards + si
+			if !taskDone[t] {
+				all = false
+				break
+			}
+			if errs[t] != nil && qerr == nil {
+				qerr = errs[t]
+			}
+			addStats(&stats[qi], partStats[t])
+			merge.cand = append(merge.cand, partial[t]...)
+		}
+		if !all {
+			stats[qi] = SearchStats{}
+			continue
+		}
+		completed++
+		if qerr != nil {
+			if firstErr == nil {
+				firstErr = qerr
+			}
+			continue
+		}
+		res := mergeTopK(merge, k, merge.cand)
+		if len(res) > 0 {
+			out[qi] = make([]Result, len(res))
+			copy(out[qi], res)
+		}
+	}
+	wsPool.Put(merge)
+
+	if err := ctx.Err(); err != nil && completed < len(queries) {
+		return out, stats, fmt.Errorf("%w after %d of %d queries: %w",
+			ErrBatchCanceled, completed, len(queries), err)
+	}
+	return out, stats, firstErr
+}

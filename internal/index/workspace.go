@@ -1,6 +1,7 @@
 package index
 
 import (
+	"math"
 	"sync"
 
 	"sapla/internal/dist"
@@ -12,10 +13,18 @@ import (
 // drained into. Reusing one across queries makes the steady-state search
 // allocation-free. Not safe for concurrent use: one per goroutine.
 type Workspace struct {
-	nodes   *pqueue.Heap[treeNode] // R-tree / interface-based frontier
-	ids     *pqueue.Heap[int32]    // DBCH arena frontier: ids never box into an interface
-	best    *pqueue.Heap[*Entry]
+	nodes *pqueue.Heap[treeNode] // R-tree / interface-based frontier
+	ids   *pqueue.Heap[int32]    // DBCH arena frontier: ids never box into an interface
+	// best is the k-bounded candidate heap, keyed by (exact distance,
+	// entry ID). The ID tie key pins a canonical k-best even when distances
+	// collide, so the answer set is a pure function of the stored entries —
+	// independent of traversal order, and therefore identical whether the
+	// entries live in one tree or are scattered across shards.
+	best    *pqueue.TieHeap[*Entry]
 	results []Result
+	// cand accumulates per-shard candidate results during a scatter-gather
+	// search; see ShardedIndex.KNNWith.
+	cand []Result
 }
 
 // NewWorkspace returns an empty search workspace.
@@ -23,12 +32,33 @@ func NewWorkspace() *Workspace {
 	return &Workspace{
 		nodes: pqueue.NewMinHeap[treeNode](),
 		ids:   pqueue.NewMinHeap[int32](),
-		best:  pqueue.NewMaxHeap[*Entry](),
+		best:  pqueue.NewMaxTieHeap[*Entry](),
 	}
 }
 
+// offerBest feeds one measured candidate to the k-bounded best heap under the
+// canonical (distance, ID) order and returns the updated k-th-best distance
+// bound. A candidate strictly worse than the current worst is dropped; an
+// exact distance tie is decided by the smaller entry ID.
+//
+//sapla:noalloc
+func (ws *Workspace) offerBest(k int, exact float64, e *Entry) float64 {
+	best := ws.best
+	if best.Len() < k {
+		best.Push(exact, int64(e.ID), e)
+	} else if exact < best.PeekPriority() ||
+		(exact == best.PeekPriority() && int64(e.ID) < best.PeekTie()) { //sapla:floateq exact tie: the ID tie-break must fire only on bit-equal distances
+		best.Pop()
+		best.Push(exact, int64(e.ID), e)
+	}
+	if best.Len() == k {
+		return best.PeekPriority()
+	}
+	return math.Inf(1)
+}
+
 // drainResults empties the best-heap into the reused result buffer in
-// ascending distance order. The returned slice aliases the workspace.
+// ascending (distance, ID) order. The returned slice aliases the workspace.
 func (ws *Workspace) drainResults() []Result {
 	n := ws.best.Len()
 	if cap(ws.results) < n {
@@ -36,7 +66,7 @@ func (ws *Workspace) drainResults() []Result {
 	}
 	ws.results = ws.results[:n]
 	for i := n - 1; i >= 0; i-- {
-		d, e := ws.best.Pop()
+		d, _, e := ws.best.Pop()
 		ws.results[i] = Result{Entry: e, Dist: d}
 	}
 	return ws.results

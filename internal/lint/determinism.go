@@ -22,18 +22,25 @@ import (
 //     Deliberate uses (timing measurements reported as such, fixed-seed
 //     generators) carry a //sapla:nondet <reason> directive.
 //
-// The check applies to packages whose import path ends in /eval or /index.
+// The check applies to packages whose import path ends in /eval, /index or
+// /pqueue — pqueue carries the canonical (distance, ID) merge order that the
+// sharded scatter-gather path relies on for byte-identical answers, so it
+// sits under the same contract as the engines built on it.
 var DeterminismAnalyzer = &Analyzer{
 	Name: "determinism",
-	Doc:  "flag map-iteration-order dependence and wall-clock/randomness in eval and index packages",
+	Doc:  "flag map-iteration-order dependence and wall-clock/randomness in eval, index and pqueue packages",
 	Run:  runDeterminism,
 }
 
 // determinismScoped reports whether the package is under the determinism
 // contract.
 func determinismScoped(path string) bool {
-	return strings.HasSuffix(path, "/eval") || strings.HasSuffix(path, "/index") ||
-		strings.Contains(path, "/eval/") || strings.Contains(path, "/index/")
+	for _, seg := range []string{"/eval", "/index", "/pqueue"} {
+		if strings.HasSuffix(path, seg) || strings.Contains(path, seg+"/") {
+			return true
+		}
+	}
+	return false
 }
 
 func runDeterminism(p *Pass) {

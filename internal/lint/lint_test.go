@@ -101,11 +101,15 @@ func TestNoalloc(t *testing.T)     { runFixture(t, "noalloc", "noalloc") }
 func TestLockguard(t *testing.T)   { runFixture(t, "lockguard", "lockguard") }
 func TestFloatcmp(t *testing.T)    { runFixture(t, "floatcmp", "floatcmp") }
 func TestDeterminism(t *testing.T) { runFixture(t, "eval", "determinism") }
-func TestErrcheck(t *testing.T)    { runFixture(t, "errcheck", "errcheck") }
-func TestWalorder(t *testing.T)    { runFixture(t, "walorder", "walorder") }
-func TestCtxflow(t *testing.T)     { runFixture(t, "ctxflow", "ctxflow") }
-func TestLockorder(t *testing.T)   { runFixture(t, "lockorder", "lockorder") }
-func TestCopylocks(t *testing.T)   { runFixture(t, "copylocks", "copylocks") }
+
+// TestDeterminismPqueue pins the analyzer's scope extension to the merge-
+// order package: /pqueue is under the same contract as /eval and /index.
+func TestDeterminismPqueue(t *testing.T) { runFixture(t, "pqueue", "determinism") }
+func TestErrcheck(t *testing.T)          { runFixture(t, "errcheck", "errcheck") }
+func TestWalorder(t *testing.T)          { runFixture(t, "walorder", "walorder") }
+func TestCtxflow(t *testing.T)           { runFixture(t, "ctxflow", "ctxflow") }
+func TestLockorder(t *testing.T)         { runFixture(t, "lockorder", "lockorder") }
+func TestCopylocks(t *testing.T)         { runFixture(t, "copylocks", "copylocks") }
 
 // TestDirectiveValidation asserts the malformed-directive diagnostics of the
 // directive fixture programmatically: several point at full-line comments

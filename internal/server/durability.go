@@ -4,77 +4,156 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"sync"
 	"time"
 
 	"sapla/internal/index"
+	"sapla/internal/ts"
 	"sapla/internal/wal"
 )
 
-// openStore opens the durability layer (when configured), recovers the
-// persisted state and bulk-loads tree from it. Called from New while the
-// server is still single-goroutine, before any request can arrive.
-func (s *Server) openStore(tree *index.DBCH) error {
+// openStores opens the durability layer (when configured), recovers the
+// persisted per-shard state in parallel and bulk-loads one tree per shard
+// from it. It returns the trees (one per effective shard) and populates
+// s.shards; without durability it simply sizes both to Config.Shards.
+// Called from New while the server is still single-goroutine, before any
+// request can arrive.
+func (s *Server) openStores() ([]*index.DBCH, error) {
 	fsys := s.cfg.WALFS
-	if fsys == nil {
-		if s.cfg.DataDir == "" {
-			return nil // purely in-memory
-		}
+	if fsys == nil && s.cfg.DataDir != "" {
 		dfs, err := wal.NewDirFS(s.cfg.DataDir)
 		if err != nil {
-			return fmt.Errorf("server: open data dir: %w", err)
+			return nil, fmt.Errorf("server: open data dir: %w", err)
 		}
 		fsys = dfs
 	}
 
+	if fsys == nil { // purely in-memory
+		trees := make([]*index.DBCH, s.cfg.Shards)
+		s.shards = make([]*shardState, s.cfg.Shards)
+		for i := range trees {
+			tree, err := s.newTree()
+			if err != nil {
+				return nil, err
+			}
+			trees[i] = tree
+			s.shards[i] = &shardState{ids: make(map[int]ts.Series)}
+		}
+		return trees, nil
+	}
+
 	start := time.Now()
-	st, series, info, err := wal.Open(fsys, wal.Options{
+	recs, err := wal.OpenSharded(fsys, s.cfg.Shards, wal.Options{
 		SyncEvery:   s.cfg.SyncEvery,
-		ObserveSync: s.metrics.walSync.Observe,
+		ObserveSync: s.metricsWALSyncObserver(),
 	})
 	if err != nil {
-		return fmt.Errorf("server: recover: %w", err)
+		return nil, fmt.Errorf("server: recover: %w", err)
 	}
 
-	// Rebuild the index from the recovered series. Bulk loading skips every
-	// split and branch-pick the incremental path would pay, which keeps
-	// recovery time dominated by reduction, not tree maintenance. The lock
-	// is uncontended — no request can arrive before New returns — but the
-	// bookkeeping invariant stays uniform: guarded fields change under mu.
-	entries := make([]*index.Entry, 0, len(series))
-	s.mu.Lock()
-	for _, sr := range series {
-		rep, rerr := s.reduce(sr.Values)
-		if rerr != nil {
-			s.mu.Unlock()
-			_ = st.Close()
-			return fmt.Errorf("server: recover series %d: %w", sr.ID, rerr)
+	// The manifest-pinned count wins over Config.Shards (see Config.Shards);
+	// from here on len(s.shards) is the effective count everywhere.
+	trees := make([]*index.DBCH, len(recs))
+	s.shards = make([]*shardState, len(recs))
+	for i := range recs {
+		tree, terr := s.newTree()
+		if terr != nil {
+			err = terr
+			break
 		}
-		entries = append(entries, index.NewEntry(int(sr.ID), sr.Values, rep))
-		s.ids[int(sr.ID)] = sr.Values
-		s.n = len(sr.Values)
+		trees[i] = tree
+		s.shards[i] = &shardState{store: recs[i].Store, ids: make(map[int]ts.Series)}
 	}
-	if next := int(info.MaxID) + 1; next > s.nextID {
-		s.nextID = next
+	if err != nil {
+		for _, r := range recs {
+			_ = r.Store.Close() //sapla:errok unwinding a failed construction; the constructor's error is the one reported
+		}
+		return nil, err
 	}
-	s.mu.Unlock()
-	if err := tree.BulkLoad(entries); err != nil {
-		_ = st.Close()
-		return fmt.Errorf("server: rebuild index: %w", err)
+
+	// Rebuild each shard's index from its recovered series, shards in
+	// parallel: reduction dominates recovery time and is embarrassingly
+	// parallel across shards (the Reducer pool hands each goroutine its own
+	// workspace). Bulk loading skips every split and branch-pick the
+	// incremental path would pay. Cross-shard bookkeeping (claimed set,
+	// nextID, series length) funnels through bookMu.
+	errs := make([]error, len(recs))
+	var wg sync.WaitGroup
+	for i := range recs {
+		wg.Add(1)
+		go func(i int) { //sapla:detach fork-join recovery worker: wg.Wait below joins it before openStores returns; the flagged loop is a bounded bulk-load descent
+			defer wg.Done()
+			sh := s.shards[i]
+			entries := make([]*index.Entry, 0, len(recs[i].Series))
+			for _, sr := range recs[i].Series {
+				rep, rerr := s.reduce(sr.Values)
+				if rerr != nil {
+					errs[i] = fmt.Errorf("server: recover series %d: %w", sr.ID, rerr)
+					return
+				}
+				entries = append(entries, index.NewEntry(int(sr.ID), sr.Values, rep))
+				sh.ids[int(sr.ID)] = sr.Values
+			}
+			if err := trees[i].BulkLoad(entries); err != nil {
+				errs[i] = fmt.Errorf("server: rebuild shard %d: %w", i, err)
+				return
+			}
+			s.bookMu.Lock()
+			for _, sr := range recs[i].Series {
+				s.claimed[int(sr.ID)] = true
+				s.n = len(sr.Values)
+			}
+			if next := int(recs[i].Info.MaxID) + 1; next > s.nextID {
+				s.nextID = next
+			}
+			s.bookMu.Unlock()
+		}(i)
 	}
-	s.store = st
-	s.recovery = info
+	wg.Wait()
+	for _, rerr := range errs {
+		if rerr != nil {
+			s.closeStores()
+			return nil, rerr
+		}
+	}
+
+	// Aggregate what recovery did: counters sum across shards, the sequence
+	// floor and MaxID take the maximum.
+	for _, r := range recs {
+		s.recovery.SnapshotSeries += r.Info.SnapshotSeries
+		s.recovery.Segments += r.Info.Segments
+		s.recovery.Replayed += r.Info.Replayed
+		s.recovery.TornBytes += r.Info.TornBytes
+		if r.Info.SnapshotSeq > s.recovery.SnapshotSeq {
+			s.recovery.SnapshotSeq = r.Info.SnapshotSeq
+		}
+		if r.Info.MaxID > s.recovery.MaxID {
+			s.recovery.MaxID = r.Info.MaxID
+		}
+	}
 	s.recoveryDur = time.Since(start)
-	return nil
+	return trees, nil
 }
 
-// Recovery reports what startup replayed from disk. ok is false when the
-// server runs without a durability layer.
+// metricsWALSyncObserver returns the fsync-latency observer. The metrics
+// struct is sized after the effective shard count is known (i.e. after
+// recovery), so the observer closes over the field lazily.
+func (s *Server) metricsWALSyncObserver() func(time.Duration) {
+	return func(d time.Duration) {
+		if m := s.metrics; m != nil {
+			m.walSync.Observe(d)
+		}
+	}
+}
+
+// Recovery reports what startup replayed from disk, aggregated across
+// shards. ok is false when the server runs without a durability layer.
 func (s *Server) Recovery() (info wal.RecoveryInfo, dur time.Duration, ok bool) {
-	return s.recovery, s.recoveryDur, s.store != nil
+	return s.recovery, s.recoveryDur, s.durable()
 }
 
-// snapshotLoop periodically snapshots the store so WAL replay stays bounded.
-// It exits when snapStop closes (Shutdown).
+// snapshotLoop periodically snapshots every shard's store so WAL replay
+// stays bounded. It exits when snapStop closes (Shutdown).
 func (s *Server) snapshotLoop(every time.Duration) {
 	defer s.snapWG.Done()
 	t := time.NewTicker(every)
@@ -91,8 +170,8 @@ func (s *Server) snapshotLoop(every time.Duration) {
 	}
 }
 
-// compactLoop periodically offers the index a chance to rebuild its arenas
-// once deletes have fragmented them past the configured threshold. It exits
+// compactLoop periodically offers each shard a chance to rebuild its arena
+// once deletes have fragmented it past the configured threshold. It exits
 // when snapStop closes (Shutdown).
 func (s *Server) compactLoop(every time.Duration) {
 	defer s.snapWG.Done()
@@ -108,47 +187,62 @@ func (s *Server) compactLoop(every time.Duration) {
 	}
 }
 
-// compactNow runs one compaction check against the configured fragmentation
-// threshold, recording metrics when a rebuild actually ran. The rebuild holds
-// the index's exclusive lock and advances the epoch; queries serialize
-// against it and never observe a half-moved arena.
+// compactNow runs one compaction check per shard against the configured
+// fragmentation threshold, recording global and per-shard metrics when a
+// rebuild actually ran. Each rebuild holds only its own shard's exclusive
+// lock and advances that shard's epoch; queries serialize against that
+// shard and never observe a half-moved arena, while the other shards keep
+// answering untouched.
 func (s *Server) compactNow() bool {
 	start := time.Now()
-	if !s.idx.Compact(s.cfg.CompactFragmentation) {
+	rebuilt := 0
+	for i := 0; i < s.idx.NumShards(); i++ {
+		if s.idx.Shard(i).Compact(s.cfg.CompactFragmentation) {
+			rebuilt++
+			s.metrics.shardCompactions[i].Add(1)
+		}
+	}
+	if rebuilt == 0 {
 		return false
 	}
-	s.metrics.compactions.Add(1)
+	s.metrics.compactions.Add(int64(rebuilt))
 	s.metrics.compactTime.Observe(time.Since(start))
 	return true
 }
 
-// snapshotNow captures the live state and persists it. The state collection
-// and the segment rotation happen atomically under mu — the sealed segment
-// then holds exactly the records covered by the captured state — while the
-// heavy snapshot write runs outside the lock, so writes stall only for the
-// rotation fsync, never for the full state serialization.
+// snapshotNow captures and persists every shard's state, one shard at a
+// time. Per shard, the state capture and the segment rotation happen
+// atomically under the shard's mu — the sealed segment then holds exactly
+// the records covered by the captured state — while the heavy snapshot
+// write runs outside the lock, so that shard's writes stall only for the
+// rotation fsync, never for the full state serialization; other shards'
+// writes never stall at all. The first error aborts the sweep (remaining
+// shards simply snapshot on the next tick).
 func (s *Server) snapshotNow() error {
-	if s.store == nil {
+	if !s.durable() {
 		return nil
 	}
-	s.mu.Lock()
-	series := make([]wal.Series, 0, len(s.ids))
-	for id, values := range s.ids {
-		series = append(series, wal.Series{ID: int64(id), Values: values})
-	}
-	sealed, err := s.store.Rotate()
-	s.mu.Unlock()
-	if err != nil {
-		return err
-	}
-	sort.Slice(series, func(i, j int) bool { return series[i].ID < series[j].ID })
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		series := make([]wal.Series, 0, len(sh.ids))
+		for id, values := range sh.ids {
+			series = append(series, wal.Series{ID: int64(id), Values: values})
+		}
+		sealed, err := sh.store.Rotate()
+		sh.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		sort.Slice(series, func(a, b int) bool { return series[a].ID < series[b].ID })
 
-	start := time.Now()
-	if err := s.store.WriteSnapshot(sealed, series); err != nil {
-		return err
+		start := time.Now()
+		if err := sh.store.WriteSnapshot(sealed, series); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		s.metrics.snapshots.Add(1)
+		s.metrics.shardSnapshots[i].Add(1)
+		s.metrics.snapshotTime.Observe(time.Since(start))
 	}
-	s.metrics.snapshots.Add(1)
-	s.metrics.snapshotTime.Observe(time.Since(start))
 	return nil
 }
 
@@ -164,11 +258,20 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	body := map[string]any{
 		"status":     stateName(st),
 		"index_size": s.idx.Len(),
-		"durable":    s.store != nil,
+		"shards":     len(s.shards),
+		"durable":    s.durable(),
 	}
-	if s.store != nil {
-		body["wal_unsynced"] = s.store.Unsynced()
-		body["snapshot_seq"] = s.store.SnapshotSeq()
+	if s.durable() {
+		unsynced := 0
+		var snapSeq uint64
+		for _, sh := range s.shards {
+			unsynced += sh.store.Unsynced()
+			if seq := sh.store.SnapshotSeq(); seq > snapSeq {
+				snapSeq = seq
+			}
+		}
+		body["wal_unsynced"] = unsynced
+		body["snapshot_seq"] = snapSeq
 	}
 	writeJSON(w, code, body)
 }

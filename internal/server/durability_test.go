@@ -16,9 +16,15 @@ import (
 
 // durableConfig returns a Config wired to an in-memory WAL filesystem.
 func durableConfig(fsys wal.FS, syncEvery int) Config {
+	return durableShardedConfig(fsys, syncEvery, 1)
+}
+
+// durableShardedConfig is durableConfig at an explicit shard count.
+func durableShardedConfig(fsys wal.FS, syncEvery, shards int) Config {
 	return Config{
 		WALFS:         fsys,
 		SyncEvery:     syncEvery,
+		Shards:        shards,
 		SnapshotEvery: -1, // snapshots driven explicitly via snapshotNow
 		Workers:       2,
 	}
@@ -40,99 +46,113 @@ func knnIDs(t *testing.T, client *http.Client, base string, q ts.Series, k int) 
 // occasional snapshots) against a durable server on an in-memory filesystem,
 // crashes it — no shutdown, page cache lost — restarts from the surviving
 // bytes, and requires the recovered index to answer k-NN queries
-// byte-identically to a fresh in-memory server holding exactly the
-// acknowledged series. SyncEvery=1 means acknowledged == durable, so the
-// equality is exact, not merely prefix-consistent.
+// byte-identically to a fresh in-memory single-shard server holding exactly
+// the acknowledged series. SyncEvery=1 means acknowledged == durable, so the
+// equality is exact, not merely prefix-consistent. The property runs at
+// shard counts 1, 4 and 7: the crash takes down every per-shard WAL stream
+// at once, and parallel recovery across the streams must still reproduce the
+// single-shard answers bit-for-bit.
 func TestServerCrashRecoveryProperty(t *testing.T) {
-	trials := 6
+	trials := 4
 	if testing.Short() {
 		trials = 2
 	}
 	const n = 64
-	for trial := 0; trial < trials; trial++ {
-		rng := rand.New(rand.NewSource(int64(500 + trial)))
-		mem := wal.NewMemFS()
-		s, hs := newTestServer(t, durableConfig(mem, 1))
-		client := hs.Client()
+	for _, shards := range []int{1, 4, 7} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			for trial := 0; trial < trials; trial++ {
+				rng := rand.New(rand.NewSource(int64(500 + 100*shards + trial)))
+				mem := wal.NewMemFS()
+				s, hs := newTestServer(t, durableShardedConfig(mem, 1, shards))
+				client := hs.Client()
 
-		acked := map[int]ts.Series{}
-		nextID := 0
-		nOps := 10 + rng.Intn(30)
-		for i := 0; i < nOps; i++ {
-			switch r := rng.Intn(10); {
-			case r < 7: // ingest
-				v := randWalk(rng, n)
-				resp := ingestOne(t, client, hs.URL, nil, v)
-				acked[resp.ID] = v
-				if resp.ID >= nextID {
-					nextID = resp.ID + 1
-				}
-			case r < 9: // delete (maybe missing)
-				if nextID == 0 {
-					continue
-				}
-				id := rng.Intn(nextID)
-				code := doJSON(t, client, "DELETE",
-					fmt.Sprintf("%s/v1/series/%d", hs.URL, id), nil, nil)
-				if _, ok := acked[id]; ok {
-					if code != http.StatusOK {
-						t.Fatalf("trial %d: delete %d: status %d", trial, id, code)
+				acked := map[int]ts.Series{}
+				nextID := 0
+				nOps := 10 + rng.Intn(30)
+				for i := 0; i < nOps; i++ {
+					switch r := rng.Intn(10); {
+					case r < 7: // ingest
+						v := randWalk(rng, n)
+						resp := ingestOne(t, client, hs.URL, nil, v)
+						acked[resp.ID] = v
+						if resp.ID >= nextID {
+							nextID = resp.ID + 1
+						}
+					case r < 9: // delete (maybe missing)
+						if nextID == 0 {
+							continue
+						}
+						id := rng.Intn(nextID)
+						code := doJSON(t, client, "DELETE",
+							fmt.Sprintf("%s/v1/series/%d", hs.URL, id), nil, nil)
+						if _, ok := acked[id]; ok {
+							if code != http.StatusOK {
+								t.Fatalf("trial %d: delete %d: status %d", trial, id, code)
+							}
+							delete(acked, id)
+						} else if code != http.StatusNotFound {
+							t.Fatalf("trial %d: delete missing %d: status %d", trial, id, code)
+						}
+					default: // per-shard snapshots + rotations
+						if err := s.snapshotNow(); err != nil {
+							t.Fatalf("trial %d: snapshot: %v", trial, err)
+						}
 					}
-					delete(acked, id)
-				} else if code != http.StatusNotFound {
-					t.Fatalf("trial %d: delete missing %d: status %d", trial, id, code)
 				}
-			default: // snapshot + rotation
-				if err := s.snapshotNow(); err != nil {
-					t.Fatalf("trial %d: snapshot: %v", trial, err)
+
+				// Crash: the process dies, every byte the kernel had not
+				// fsync'd is gone. No Shutdown, no WAL flush.
+				hs.Close()
+				mem.Crash(nil)
+
+				// Reopen with a deliberately wrong shard request: the
+				// manifest must pin the original count.
+				rec, hrec := newTestServer(t, durableShardedConfig(mem, 1, shards%3+1))
+				info, _, ok := rec.Recovery()
+				if !ok {
+					t.Fatalf("trial %d: recovered server reports no durability", trial)
+				}
+				if got := len(rec.shards); got != shards {
+					t.Fatalf("trial %d: recovered %d shards, manifest pins %d", trial, got, shards)
+				}
+				if rec.idx.Len() != len(acked) {
+					t.Fatalf("trial %d: recovered %d series, acknowledged %d (info %+v)",
+						trial, rec.idx.Len(), len(acked), info)
+				}
+
+				// Reference: a purely in-memory single-shard server over
+				// exactly the acked set.
+				_, href := newTestServer(t, Config{Workers: 2})
+				for id, v := range acked {
+					idc := id
+					ingestOne(t, href.Client(), href.URL, &idc, v)
+				}
+
+				for qi := 0; qi < 4; qi++ {
+					q := randWalk(rng, n)
+					k := 1 + rng.Intn(5)
+					if k > len(acked) {
+						if len(acked) == 0 {
+							break
+						}
+						k = len(acked)
+					}
+					got := knnIDs(t, hrec.Client(), hrec.URL, q, k)
+					want := knnIDs(t, href.Client(), href.URL, q, k)
+					if len(got) != len(want) {
+						t.Fatalf("trial %d q%d: %d results, want %d", trial, qi, len(got), len(want))
+					}
+					for i := range want {
+						if got[i].ID != want[i].ID ||
+							math.Float64bits(got[i].Dist) != math.Float64bits(want[i].Dist) {
+							t.Fatalf("trial %d q%d result %d: got %+v, want %+v",
+								trial, qi, i, got[i], want[i])
+						}
+					}
 				}
 			}
-		}
-
-		// Crash: the process dies, every byte the kernel had not fsync'd is
-		// gone. No Shutdown, no WAL flush.
-		hs.Close()
-		mem.Crash(nil)
-
-		rec, hrec := newTestServer(t, durableConfig(mem, 1))
-		info, _, ok := rec.Recovery()
-		if !ok {
-			t.Fatalf("trial %d: recovered server reports no durability", trial)
-		}
-		if rec.idx.Len() != len(acked) {
-			t.Fatalf("trial %d: recovered %d series, acknowledged %d (info %+v)",
-				trial, rec.idx.Len(), len(acked), info)
-		}
-
-		// Reference: a purely in-memory server over exactly the acked set.
-		_, href := newTestServer(t, Config{Workers: 2})
-		for id, v := range acked {
-			idc := id
-			ingestOne(t, href.Client(), href.URL, &idc, v)
-		}
-
-		for qi := 0; qi < 4; qi++ {
-			q := randWalk(rng, n)
-			k := 1 + rng.Intn(5)
-			if k > len(acked) {
-				if len(acked) == 0 {
-					break
-				}
-				k = len(acked)
-			}
-			got := knnIDs(t, hrec.Client(), hrec.URL, q, k)
-			want := knnIDs(t, href.Client(), href.URL, q, k)
-			if len(got) != len(want) {
-				t.Fatalf("trial %d q%d: %d results, want %d", trial, qi, len(got), len(want))
-			}
-			for i := range want {
-				if got[i].ID != want[i].ID ||
-					math.Float64bits(got[i].Dist) != math.Float64bits(want[i].Dist) {
-					t.Fatalf("trial %d q%d result %d: got %+v, want %+v",
-						trial, qi, i, got[i], want[i])
-				}
-			}
-		}
+		})
 	}
 }
 
@@ -149,7 +169,7 @@ func TestServerShutdownDrain(t *testing.T) {
 		resp := ingestOne(t, hs.Client(), hs.URL, nil, v)
 		acked[resp.ID] = v
 	}
-	if s.store.Unsynced() == 0 {
+	if s.shards[0].store.Unsynced() == 0 {
 		t.Fatal("test expects unsynced records before shutdown")
 	}
 	hs.Close()
@@ -163,15 +183,15 @@ func TestServerShutdownDrain(t *testing.T) {
 	if rec.idx.Len() != len(acked) {
 		t.Fatalf("recovered %d series, acknowledged %d", rec.idx.Len(), len(acked))
 	}
-	rec.mu.Lock()
 	for id, v := range acked {
-		got, ok := rec.ids[id]
+		sh := rec.shardFor(id)
+		sh.mu.Lock()
+		got, ok := sh.ids[id]
+		sh.mu.Unlock()
 		if !ok || len(got) != len(v) {
-			rec.mu.Unlock()
 			t.Fatalf("series %d lost or resized across clean shutdown", id)
 		}
 	}
-	rec.mu.Unlock()
 }
 
 // TestServerReadyz: /readyz tracks the lifecycle while /healthz stays green,
@@ -269,7 +289,7 @@ func TestServerWALAppendFailure(t *testing.T) {
 		map[string]any{"values": randWalk(rng, 32)}, &errBody); code != http.StatusServiceUnavailable {
 		t.Fatalf("ingest on broken store: status %d", code)
 	}
-	if !errors.Is(s.store.Sync(), wal.ErrStoreBroken) {
+	if !errors.Is(s.shards[0].store.Sync(), wal.ErrStoreBroken) {
 		t.Fatal("store not fail-stopped after fsync error")
 	}
 	// Reads are unaffected by the broken write path.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 
 	"sapla/internal/core"
 	"sapla/internal/dist"
@@ -66,6 +67,16 @@ func (s *Server) reduce(values ts.Series) (repr.Representation, error) {
 	return m.Reduce(values, s.cfg.M)
 }
 
+// unclaim releases an ID claim after a failed commit so the ID becomes
+// ingestable again. Called without any shard mu held.
+func (s *Server) unclaim(ids ...int) {
+	s.bookMu.Lock()
+	for _, id := range ids {
+		delete(s.claimed, id)
+	}
+	s.bookMu.Unlock()
+}
+
 // checkSeries validates values against the index's fixed series length.
 // A zero fixed length (nothing ingested yet) admits any valid series.
 func (s *Server) checkSeries(values ts.Series) error {
@@ -109,12 +120,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// The ID set, fixed length and insert must commit together so two
+	// ID uniqueness is cross-shard, so the claim happens under bookMu: two
 	// racing ingests cannot claim one ID or disagree on the series length.
-	s.mu.Lock()
+	// The claim also covers in-flight ingests — a concurrent explicit-ID
+	// ingest of the same ID conflicts even before the first one commits.
+	s.bookMu.Lock()
 	if s.n != 0 && len(req.Values) != s.n {
 		n := s.n
-		s.mu.Unlock()
+		s.bookMu.Unlock()
 		writeErr(w, http.StatusBadRequest,
 			"series length %d does not match index series length %d", len(req.Values), n)
 		return
@@ -122,8 +135,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var id int
 	if req.ID != nil {
 		id = *req.ID
-		if _, dup := s.ids[id]; dup {
-			s.mu.Unlock()
+		if s.claimed[id] {
+			s.bookMu.Unlock()
 			writeErr(w, http.StatusConflict, "id %d already exists", id)
 			return
 		}
@@ -134,29 +147,39 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		id = s.nextID
 		s.nextID++
 	}
-	// Durability before acknowledgement: the WAL record must be appended
-	// (and, at SyncEvery=1, fsync'd) before the insert becomes visible. A
-	// failed append rejects the request with nothing to undo; a failed
+	s.claimed[id] = true
+	// The length pins at claim time, not commit time, so two racing first
+	// ingests of different lengths cannot both pass the check above.
+	s.n = len(req.Values)
+	s.bookMu.Unlock()
+
+	// Commit on the owning shard. Durability before acknowledgement: the
+	// WAL record must be appended (and, at SyncEvery=1, fsync'd) to the
+	// shard's stream before the insert becomes visible. A failed append
+	// rejects the request with nothing to undo but the claim; a failed
 	// insert after a successful append is undone by a compensating delete
 	// record so replay converges to the served state.
-	if s.store != nil {
-		if err := s.store.AppendIngest(int64(id), req.Values); err != nil {
-			s.mu.Unlock()
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	if sh.store != nil {
+		if err := sh.store.AppendIngest(int64(id), req.Values); err != nil {
+			sh.mu.Unlock()
+			s.unclaim(id)
 			writeErr(w, http.StatusServiceUnavailable, "wal append: %v", err)
 			return
 		}
 	}
 	if err := s.idx.Insert(index.NewEntry(id, req.Values, rep)); err != nil {
-		if s.store != nil {
-			_ = s.store.AppendDelete(int64(id)) //sapla:volatile compensating append after a failed insert: the mutation it follows never took effect, and a broken store refuses every later append anyway
+		if sh.store != nil {
+			_ = sh.store.AppendDelete(int64(id)) //sapla:volatile compensating append after a failed insert: the mutation it follows never took effect, and a broken store refuses every later append anyway
 		}
-		s.mu.Unlock()
+		sh.mu.Unlock()
+		s.unclaim(id)
 		writeErr(w, http.StatusInternalServerError, "insert: %v", err)
 		return
 	}
-	s.ids[id] = req.Values
-	s.n = len(req.Values)
-	s.mu.Unlock()
+	sh.ids[id] = req.Values
+	sh.mu.Unlock()
 
 	s.metrics.ingested.Add(1)
 	resp := ingestResponse{ID: id, IndexSize: s.idx.Len(), Epoch: s.idx.Epoch()}
@@ -221,71 +244,146 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 		reps[i] = rep
 	}
 
-	// Same commit discipline as handleIngest, batched: IDs, the WAL group
-	// append and the index insert resolve under one mu hold, with the WAL
-	// append strictly before the insert becomes visible.
-	s.mu.Lock()
+	// Same commit discipline as handleIngest, batched and sharded: every ID
+	// resolves and claims under one bookMu hold (duplicates reject the whole
+	// request with nothing claimed), then the batch splits by owning shard
+	// and the per-shard groups commit concurrently — one WAL group append
+	// (one fsync at SyncEvery=1), one exclusive index lock acquisition and
+	// one epoch advance per touched shard, with each shard's WAL append
+	// strictly before its inserts become visible.
+	s.bookMu.Lock()
 	if s.n != 0 && len(req.Series[0].Values) != s.n {
 		n := s.n
-		s.mu.Unlock()
+		s.bookMu.Unlock()
 		writeErr(w, http.StatusBadRequest,
 			"series length %d does not match index series length %d", len(req.Series[0].Values), n)
 		return
 	}
+	// Every explicit ID must be free — against committed series, in-flight
+	// claims and the batch itself — before anything claims, so a conflict
+	// rejects with nothing to unwind.
 	ids := make([]int, len(req.Series))
-	claimed := make(map[int]bool, len(req.Series))
+	inBatch := make(map[int]bool, len(req.Series))
+	for _, item := range req.Series {
+		if item.ID == nil {
+			continue
+		}
+		id := *item.ID
+		if s.claimed[id] || inBatch[id] {
+			s.bookMu.Unlock()
+			writeErr(w, http.StatusConflict, "id %d already exists", id)
+			return
+		}
+		inBatch[id] = true
+	}
 	for i, item := range req.Series {
 		if item.ID != nil {
-			id := *item.ID
-			if _, dup := s.ids[id]; dup || claimed[id] {
-				s.mu.Unlock()
-				writeErr(w, http.StatusConflict, "id %d already exists", id)
-				return
+			ids[i] = *item.ID
+			if ids[i] >= s.nextID {
+				s.nextID = ids[i] + 1
 			}
-			if id >= s.nextID {
-				s.nextID = id + 1
-			}
-			ids[i] = id
 		} else {
 			ids[i] = s.nextID
 			s.nextID++
 		}
-		claimed[ids[i]] = true
-	}
-	if s.store != nil {
-		batch := make([]wal.Series, len(req.Series))
-		for i, item := range req.Series {
-			batch[i] = wal.Series{ID: int64(ids[i]), Values: item.Values}
-		}
-		if err := s.store.AppendIngestBatch(batch); err != nil {
-			s.mu.Unlock()
-			writeErr(w, http.StatusServiceUnavailable, "wal append: %v", err)
-			return
-		}
-	}
-	entries := make([]*index.Entry, len(req.Series))
-	for i, item := range req.Series {
-		entries[i] = index.NewEntry(ids[i], item.Values, reps[i])
-	}
-	if err := s.idx.InsertBatch(entries); err != nil {
-		// Roll back whatever the batch applied: a compensating delete record
-		// per claimed ID, then the index removal, so replay converges to the
-		// served (empty-of-this-batch) state.
-		for _, id := range ids {
-			if s.store != nil {
-				_ = s.store.AppendDelete(int64(id)) //sapla:volatile compensating append after a failed batch insert: the mutation it follows never became visible, and a broken store refuses every later append anyway
-			}
-			s.idx.Delete(id)
-		}
-		s.mu.Unlock()
-		writeErr(w, http.StatusInternalServerError, "insert batch: %v", err)
-		return
-	}
-	for i, item := range req.Series {
-		s.ids[ids[i]] = item.Values
+		s.claimed[ids[i]] = true
 	}
 	s.n = len(req.Series[0].Values)
-	s.mu.Unlock()
+	s.bookMu.Unlock()
+
+	// Split by owning shard, preserving batch order within each group so
+	// the per-shard trees are deterministic functions of the request.
+	nshards := len(s.shards)
+	groupIdx := make([][]int, nshards) // positions in req.Series per shard
+	for i, id := range ids {
+		si := index.ShardOf(id, nshards)
+		groupIdx[si] = append(groupIdx[si], i)
+	}
+	shardErrs := make([]error, nshards)
+	walErr := make([]bool, nshards)
+	var wg sync.WaitGroup
+	for si := range groupIdx {
+		if len(groupIdx[si]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(si int) { //sapla:detach fork-join commit worker: wg.Wait below joins it before the handler responds; the flagged loop is a bounded tree descent
+			defer wg.Done()
+			sh := s.shards[si]
+			group := groupIdx[si]
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			if sh.store != nil {
+				batch := make([]wal.Series, len(group))
+				for gi, pos := range group {
+					batch[gi] = wal.Series{ID: int64(ids[pos]), Values: req.Series[pos].Values}
+				}
+				if err := sh.store.AppendIngestBatch(batch); err != nil {
+					shardErrs[si] = err
+					walErr[si] = true
+					return
+				}
+			}
+			entries := make([]*index.Entry, len(group))
+			for gi, pos := range group {
+				entries[gi] = index.NewEntry(ids[pos], req.Series[pos].Values, reps[pos])
+			}
+			if err := s.idx.Shard(si).InsertBatch(entries); err != nil {
+				// Roll this shard back: a compensating delete record per ID,
+				// then the index removal, so replay converges to the served
+				// (empty-of-this-group) state.
+				for _, pos := range group {
+					if sh.store != nil {
+						_ = sh.store.AppendDelete(int64(ids[pos])) //sapla:volatile compensating append after a failed batch insert: the mutation it follows never became visible, and a broken store refuses every later append anyway
+					}
+					s.idx.Shard(si).Delete(ids[pos])
+				}
+				shardErrs[si] = err
+				return
+			}
+			for _, pos := range group {
+				sh.ids[ids[pos]] = req.Series[pos].Values
+			}
+		}(si)
+	}
+	wg.Wait()
+	var commitErr error
+	walFailed := false
+	for si, err := range shardErrs {
+		if err != nil {
+			commitErr = err
+			walFailed = walErr[si]
+			break
+		}
+	}
+	if commitErr != nil {
+		// Undo the shards that did commit so the batch rejects wholesale.
+		// During this unwind another shard's entries are transiently visible
+		// to searches — multi-shard batch atomicity is over acknowledgement
+		// (all-or-nothing at the API), not over in-flight reads.
+		for si := range groupIdx {
+			if len(groupIdx[si]) == 0 || shardErrs[si] != nil {
+				continue
+			}
+			sh := s.shards[si]
+			sh.mu.Lock()
+			for _, pos := range groupIdx[si] {
+				if sh.store != nil {
+					_ = sh.store.AppendDelete(int64(ids[pos])) //sapla:volatile compensating append while rejecting the whole batch: the ingest it undoes is never acknowledged, and a broken store refuses every later append anyway
+				}
+				s.idx.Shard(si).Delete(ids[pos])
+				delete(sh.ids, ids[pos])
+			}
+			sh.mu.Unlock()
+		}
+		s.unclaim(ids...)
+		if walFailed {
+			writeErr(w, http.StatusServiceUnavailable, "wal append: %v", commitErr)
+		} else {
+			writeErr(w, http.StatusInternalServerError, "insert batch: %v", commitErr)
+		}
+		return
+	}
 
 	s.metrics.ingested.Add(int64(len(ids)))
 	writeJSON(w, http.StatusCreated, ingestBatchResponse{
@@ -510,26 +608,34 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad id %q", r.PathValue("id"))
 		return
 	}
-	s.mu.Lock()
-	_, present := s.ids[id]
+	// The whole removal runs on the owning shard: presence check, WAL
+	// append (same WAL-before-acknowledge discipline as ingest), index
+	// removal and bookkeeping under one shard mu hold. The claim release
+	// nests bookMu inside the shard mu — the one sanctioned nesting
+	// direction (see shardState).
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	_, present := sh.ids[id]
 	if present {
-		// Same WAL-before-acknowledge discipline as ingest.
-		if s.store != nil {
-			if err := s.store.AppendDelete(int64(id)); err != nil {
-				s.mu.Unlock()
+		if sh.store != nil {
+			if err := sh.store.AppendDelete(int64(id)); err != nil {
+				sh.mu.Unlock()
 				writeErr(w, http.StatusServiceUnavailable, "wal append: %v", err)
 				return
 			}
 		}
 		if !s.idx.Delete(id) {
-			s.mu.Unlock()
+			sh.mu.Unlock()
 			writeErr(w, http.StatusInternalServerError,
 				"id %d tracked but not found in index", id)
 			return
 		}
-		delete(s.ids, id)
+		delete(sh.ids, id)
+		s.bookMu.Lock()
+		delete(s.claimed, id)
+		s.bookMu.Unlock()
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	if !present {
 		writeErr(w, http.StatusNotFound, "id %d not found", id)
 		return

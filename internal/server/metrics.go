@@ -142,15 +142,20 @@ type metrics struct {
 	ingested expvar.Int // series accepted
 	deleted  expvar.Int // series removed
 
-	// Arena maintenance: background compactions that actually rebuilt.
-	compactions expvar.Int
-	compactTime *histogram
+	// Arena maintenance: background compactions that actually rebuilt a
+	// shard (compactions sums across shards; shardCompactions[i] counts
+	// shard i's rebuilds).
+	compactions      expvar.Int
+	compactTime      *histogram
+	shardCompactions []expvar.Int
 
 	// Durability instrumentation (zero when the WAL is disabled).
+	// snapshots sums across shards; shardSnapshots[i] counts shard i's.
 	walSync        *histogram // WAL fsync latency, the write-path floor
 	snapshots      expvar.Int // snapshots installed
-	snapshotErrors expvar.Int // snapshot attempts that failed
+	snapshotErrors expvar.Int // snapshot sweeps that failed
 	snapshotTime   *histogram // snapshot write duration
+	shardSnapshots []expvar.Int
 
 	// Cumulative GEMINI search work, the numerators/denominator of the
 	// paper's pruning power ρ (Eq. 14): measured / candidates is the
@@ -165,16 +170,18 @@ type metrics struct {
 // endpoint names used as metric keys.
 var endpointNames = []string{"ingest", "ingest_batch", "knn", "knn_batch", "range", "delete"}
 
-func newMetrics() *metrics {
+func newMetrics(nshards int) *metrics {
 	m := &metrics{
-		start:        time.Now(),
-		requests:     new(expvar.Map).Init(),
-		errors:       new(expvar.Map).Init(),
-		shed:         new(expvar.Map).Init(),
-		latency:      make(map[string]*histogram, len(endpointNames)),
-		walSync:      newHistogram(),
-		snapshotTime: newHistogram(),
-		compactTime:  newHistogram(),
+		start:            time.Now(),
+		requests:         new(expvar.Map).Init(),
+		errors:           new(expvar.Map).Init(),
+		shed:             new(expvar.Map).Init(),
+		latency:          make(map[string]*histogram, len(endpointNames)),
+		walSync:          newHistogram(),
+		snapshotTime:     newHistogram(),
+		compactTime:      newHistogram(),
+		shardCompactions: make([]expvar.Int, nshards),
+		shardSnapshots:   make([]expvar.Int, nshards),
 	}
 	for _, name := range endpointNames {
 		m.latency[name] = newHistogram()
@@ -236,6 +243,7 @@ func (s *Server) metricsHandler(w http.ResponseWriter, r *http.Request) {
 	idx := map[string]any{
 		"size":          s.idx.Len(),
 		"epoch":         s.idx.Epoch(),
+		"shards":        s.idx.NumShards(),
 		"method":        s.cfg.Method,
 		"coeff_budget":  s.cfg.M,
 		"series_length": s.seriesLen(),
@@ -243,12 +251,8 @@ func (s *Server) metricsHandler(w http.ResponseWriter, r *http.Request) {
 		"deleted":       m.deleted.Value(),
 		"compactions":   m.compactions.Value(),
 		"compact_time":  json.RawMessage(m.compactTime.String()),
+		"fragmentation": s.idx.Fragmentation(),
 	}
-	s.idx.View(func(inner index.Index) {
-		if comp, ok := inner.(index.Compactor); ok {
-			idx["fragmentation"] = comp.Fragmentation()
-		}
-	})
 	if st, ok := s.treeStats(); ok {
 		idx["tree"] = map[string]any{
 			"internal_nodes": st.InternalNodes,
@@ -259,11 +263,45 @@ func (s *Server) metricsHandler(w http.ResponseWriter, r *http.Request) {
 	}
 	doc["index"] = mustJSON(idx)
 
-	if s.store != nil {
+	// Per-shard slice of the index and (when durable) WAL state, so an
+	// operator can see a hot, fragmented or snapshot-lagging shard instead
+	// of an averaged-away aggregate.
+	shardDocs := make([]map[string]any, len(s.shards))
+	for i, shState := range s.shards {
+		sh := s.idx.Shard(i)
+		sd := map[string]any{
+			"size":        sh.Len(),
+			"epoch":       sh.Epoch(),
+			"compactions": m.shardCompactions[i].Value(),
+		}
+		sh.View(func(inner index.Index) {
+			if comp, ok := inner.(index.Compactor); ok {
+				sd["fragmentation"] = comp.Fragmentation()
+			}
+		})
+		if shState.store != nil {
+			sd["wal_unsynced"] = shState.store.Unsynced()
+			sd["snapshot_seq"] = shState.store.SnapshotSeq()
+			sd["snapshots"] = m.shardSnapshots[i].Value()
+		}
+		shardDocs[i] = sd
+	}
+	doc["shards"] = mustJSON(shardDocs)
+
+	if s.durable() {
+		unsynced := 0
+		var snapSeq uint64
+		for _, shState := range s.shards {
+			unsynced += shState.store.Unsynced()
+			if seq := shState.store.SnapshotSeq(); seq > snapSeq {
+				snapSeq = seq
+			}
+		}
 		doc["durability"] = mustJSON(map[string]any{
 			"wal_fsync":            json.RawMessage(m.walSync.String()),
-			"wal_unsynced":         s.store.Unsynced(),
-			"snapshot_seq":         s.store.SnapshotSeq(),
+			"wal_streams":          len(s.shards),
+			"wal_unsynced":         unsynced,
+			"snapshot_seq":         snapSeq,
 			"snapshots":            m.snapshots.Value(),
 			"snapshot_errors":      m.snapshotErrors.Value(),
 			"snapshot_write":       json.RawMessage(m.snapshotTime.String()),

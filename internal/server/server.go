@@ -1,17 +1,27 @@
 // Package server exposes the SAPLA similarity-search engine as a
-// long-running HTTP service: series are ingested (reduced and indexed into a
-// DBCH-tree behind a ConcurrentIndex) while k-NN, batch k-NN and ε-range
+// long-running HTTP service: series are ingested (reduced and indexed into
+// DBCH-trees behind a ShardedIndex) while k-NN, batch k-NN and ε-range
 // queries are answered concurrently through the BatchKNN worker pool. The
-// service is the north-star serving path: reads take a shared lock and reuse
+// service is the north-star serving path: reads take shared locks and reuse
 // pooled workspaces (no per-request index rebuild, allocation-free search
-// hot path), writes serialize, and shutdown drains in-flight requests.
+// hot path), writes serialize per shard, and shutdown drains in-flight
+// requests.
 //
-// With a data directory configured the service is also durable: every
-// ingest/delete is appended to a checksummed write-ahead log before it is
-// acknowledged, snapshots bound replay time, and startup recovers the index
-// from disk (see internal/wal). Admission is bounded per endpoint class —
-// saturated classes shed with 429 + Retry-After instead of queueing without
-// bound — and /readyz distinguishes recovering/draining from ready.
+// The index is partitioned across Config.Shards shards by a stable hash of
+// the series ID. Each shard owns its own DBCH-tree, write lock, epoch
+// counter and — with durability enabled — its own WAL segment stream and
+// snapshot cadence, so writes to different shards commit concurrently and a
+// compacting or snapshotting shard never stalls the rest. Queries scatter
+// across every shard and gather under the canonical (distance, ID) order,
+// which keeps answers byte-identical to a single-shard server.
+//
+// With a data directory configured the service is durable: every
+// ingest/delete is appended to its shard's checksummed write-ahead log
+// before it is acknowledged, per-shard snapshots bound replay time, and
+// startup recovers all shards in parallel (see internal/wal). Admission is
+// bounded per endpoint class — saturated classes shed with 429 +
+// Retry-After instead of queueing without bound — and /readyz distinguishes
+// recovering/draining from ready.
 package server
 
 import (
@@ -45,6 +55,13 @@ type Config struct {
 	// SafeBound enables the triangle-safe node bound (no false dismissals).
 	// Default true: a service should not silently drop true neighbours.
 	SafeBound *bool
+	// Shards partitions the index (and, with durability, the WAL) across
+	// this many independent shards keyed by a stable hash of the series ID.
+	// Default 1. With durability enabled the count persisted in the data
+	// directory's manifest wins over this value: records already routed
+	// under the persisted count, and reopening under another would replay
+	// them into the wrong shards.
+	Shards int
 	// Workers sizes the BatchKNN pool for /v1/knn/batch. Default 0 =
 	// GOMAXPROCS.
 	Workers int
@@ -77,13 +94,13 @@ type Config struct {
 	SnapshotEvery time.Duration
 
 	// CompactEvery is the period of the background compaction ticker that
-	// rebuilds the DBCH arena once deletes have fragmented it past
+	// rebuilds a shard's DBCH arena once deletes have fragmented it past
 	// CompactFragmentation. Default 1m; <0 disables the ticker (compaction
 	// then happens only via explicit calls). Unlike snapshots, compaction is
 	// purely in-memory, so the ticker runs with or without durability.
 	CompactEvery time.Duration
 	// CompactFragmentation is the dead-slot fraction in [0,1] at or above
-	// which a ticker firing actually rebuilds. Default 0.3.
+	// which a ticker firing actually rebuilds a shard. Default 0.3.
 	CompactFragmentation float64
 
 	// MaxInflightSearch bounds concurrently admitted search requests
@@ -109,6 +126,9 @@ func (c Config) withDefaults() Config {
 	if c.SafeBound == nil {
 		t := true
 		c.SafeBound = &t
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
 	}
 	if c.MaxK <= 0 {
 		c.MaxK = 128
@@ -162,11 +182,27 @@ func stateName(st int32) string {
 	}
 }
 
+// shardState is one shard's write-side state. mu serializes the commit
+// protocol for series owned by this shard: the WAL append, the index
+// mutation and the ids bookkeeping change together under one hold, so a
+// snapshot capturing ids while rotating the shard's WAL segment (also under
+// mu) sees exactly the state the sealed segment covers. Searches never take
+// it, and writes to different shards never contend on it.
+//
+// Lock order: a goroutine holding mu may take Server.bookMu (delete unclaims
+// an ID, a finished ingest publishes the series length); bookMu holders
+// never take a shard mu.
+type shardState struct {
+	mu    sync.Mutex
+	store *wal.Store // this shard's WAL stream; nil without durability
+	ids   map[int]ts.Series
+}
+
 // Server is the similarity-search HTTP service. Create with New, mount via
 // Handler, run with Serve/ListenAndServe, stop with Shutdown.
 type Server struct {
 	cfg     Config
-	idx     *index.ConcurrentIndex
+	idx     *index.ShardedIndex
 	metrics *metrics
 	handler http.Handler
 
@@ -184,35 +220,43 @@ type Server struct {
 	searchSem chan struct{}
 	writeSem  chan struct{}
 
-	// store is the durability layer; nil when DataDir/WALFS are unset. Its
-	// appends are serialized under mu (so WAL order matches ID-assignment
-	// order and snapshot rotation), but Sync/Close/WriteSnapshot have their
-	// own internal lock and run outside mu.
-	store       *wal.Store
+	// shards holds the per-shard write state, one entry per effective shard
+	// (the manifest-pinned count with durability, Config.Shards without).
+	// Shard membership is index.ShardOf(id, len(shards)).
+	shards      []*shardState
 	recovery    wal.RecoveryInfo
 	recoveryDur time.Duration
 	snapStop    chan struct{}
 	snapWG      sync.WaitGroup
 	stopOnce    sync.Once
 
-	// mu guards the ingest bookkeeping that must change atomically with an
-	// insert: the ID→series map (uniqueness, and the state a snapshot
-	// captures), the fixed series length, and the auto-ID counter. Search
-	// paths never take it.
-	mu     sync.Mutex
-	ids    map[int]ts.Series
-	n      int // series length, fixed by the first ingest
-	nextID int
+	// bookMu guards the cross-shard ingest bookkeeping: the claimed-ID set
+	// (uniqueness across shards and across in-flight ingests), the fixed
+	// series length, and the auto-ID counter. Search paths never take it,
+	// and holders never take a shard mu (see shardState's lock order).
+	bookMu  sync.Mutex
+	claimed map[int]bool
+	n       int // series length, fixed by the first ingest
+	nextID  int
 
 	httpMu  sync.Mutex
 	httpSrv *http.Server
 }
 
-// New builds a Server over a fresh DBCH-tree for cfg.Method. With
-// durability configured (DataDir or WALFS) it first recovers the persisted
-// state — newest snapshot plus WAL replay — bulk-loads the tree from it, and
-// only then reports ready; a corrupt snapshot or a torn non-final WAL
-// segment fails construction rather than serving silently incomplete data.
+// shardFor returns the shard state owning id.
+func (s *Server) shardFor(id int) *shardState {
+	return s.shards[index.ShardOf(id, len(s.shards))]
+}
+
+// durable reports whether the server runs with a WAL.
+func (s *Server) durable() bool { return s.shards[0].store != nil }
+
+// New builds a Server over fresh DBCH-trees for cfg.Method, one per shard.
+// With durability configured (DataDir or WALFS) it first recovers the
+// persisted state — every shard's newest snapshot plus WAL replay, shards in
+// parallel — bulk-loads the trees from it, and only then reports ready; a
+// corrupt snapshot or a torn non-final WAL segment in any shard fails
+// construction rather than serving silently incomplete data.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Method != "SAPLA" {
@@ -220,27 +264,31 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
-	tree, err := index.NewDBCH(cfg.Method, cfg.MinFill, cfg.MaxFill)
-	if err != nil {
-		return nil, err
-	}
-	tree.SafeBound = *cfg.SafeBound
 	s := &Server{
 		cfg:       cfg,
-		metrics:   newMetrics(),
-		ids:       make(map[int]ts.Series),
+		metrics:   nil, // sized after the effective shard count is known
+		claimed:   make(map[int]bool),
 		searchSem: make(chan struct{}, cfg.MaxInflightSearch),
 		writeSem:  make(chan struct{}, cfg.MaxInflightWrite),
 		snapStop:  make(chan struct{}),
 	}
 	s.state.Store(stateRecovering)
 	s.reducers.New = func() any { return core.NewReducer() }
-	if err := s.openStore(tree); err != nil {
+
+	trees, err := s.openStores()
+	if err != nil {
 		return nil, err
 	}
-	s.idx = index.NewConcurrent(tree)
+	s.metrics = newMetrics(len(trees))
+	s.idx, err = index.NewSharded(len(trees), func(i int) (index.Index, error) {
+		return trees[i], nil
+	})
+	if err != nil {
+		s.closeStores()
+		return nil, err
+	}
 	s.handler = s.buildHandler()
-	if s.store != nil && cfg.SnapshotEvery > 0 {
+	if s.durable() && cfg.SnapshotEvery > 0 {
 		s.snapWG.Add(1)
 		go s.snapshotLoop(cfg.SnapshotEvery)
 	}
@@ -250,6 +298,16 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.state.Store(stateReady)
 	return s, nil
+}
+
+// newTree builds one shard's DBCH-tree from the configured parameters.
+func (s *Server) newTree() (*index.DBCH, error) {
+	tree, err := index.NewDBCH(s.cfg.Method, s.cfg.MinFill, s.cfg.MaxFill)
+	if err != nil {
+		return nil, err
+	}
+	tree.SafeBound = *s.cfg.SafeBound
+	return tree, nil
 }
 
 // methodFor returns a fresh instance of a non-SAPLA reduction method.
@@ -355,27 +413,37 @@ func (w *statusWriter) WriteHeader(code int) {
 
 // seriesLen returns the fixed series length (0 before the first ingest).
 func (s *Server) seriesLen() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.bookMu.Lock()
+	defer s.bookMu.Unlock()
 	return s.n
 }
 
-// treeStats reports the DBCH shape under the index's shared lock.
+// treeStats aggregates the DBCH shape across shards under each shard's
+// shared index lock: node counts and entries sum, height is the maximum.
 func (s *Server) treeStats() (index.TreeStats, bool) {
-	var st index.TreeStats
+	var total index.TreeStats
 	var ok bool
-	s.idx.View(func(inner index.Index) {
-		type statser interface{ Stats() index.TreeStats }
-		if t, isT := inner.(statser); isT {
-			st, ok = t.Stats(), true
-		}
-	})
-	return st, ok
+	for i := 0; i < s.idx.NumShards(); i++ {
+		s.idx.Shard(i).View(func(inner index.Index) {
+			type statser interface{ Stats() index.TreeStats }
+			if t, isT := inner.(statser); isT {
+				st := t.Stats()
+				total.InternalNodes += st.InternalNodes
+				total.LeafNodes += st.LeafNodes
+				total.Entries += st.Entries
+				if st.Height > total.Height {
+					total.Height = st.Height
+				}
+				ok = true
+			}
+		})
+	}
+	return total, ok
 }
 
-// Index exposes the concurrent index (read-mostly; used by tests and the
-// CLI for diagnostics).
-func (s *Server) Index() *index.ConcurrentIndex { return s.idx }
+// Index exposes the sharded index (read-mostly; used by tests and the CLI
+// for diagnostics).
+func (s *Server) Index() *index.ShardedIndex { return s.idx }
 
 // ListenAndServe serves on addr until Shutdown.
 func (s *Server) ListenAndServe(addr string) error {
@@ -403,11 +471,20 @@ func (s *Server) Serve(l net.Listener) error {
 	return srv.Serve(l)
 }
 
+// closeStores closes every shard's WAL store (construction unwind).
+func (s *Server) closeStores() {
+	for _, sh := range s.shards {
+		if sh.store != nil {
+			_ = sh.store.Close() //sapla:errok unwinding a failed construction; the constructor's error is the one reported
+		}
+	}
+}
+
 // Shutdown gracefully stops the server: new requests are refused (503,
-// draining), in-flight requests drain until ctx expires, the snapshot ticker
-// goroutine stops, and the WAL is flushed, fsync'd and closed — so every
-// acknowledged write is durable across a clean restart even with a large
-// group-commit batch.
+// draining), in-flight requests drain until ctx expires, the snapshot and
+// compaction tickers stop, and every shard's WAL is flushed, fsync'd and
+// closed — so every acknowledged write is durable across a clean restart
+// even with a large group-commit batch.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.state.CompareAndSwap(stateReady, stateDraining)
 
@@ -422,11 +499,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.stopOnce.Do(func() { close(s.snapStop) })
 	s.snapWG.Wait()
 
-	if s.store != nil {
-		if serr := s.store.Sync(); serr != nil && err == nil {
+	for _, sh := range s.shards {
+		if sh.store == nil {
+			continue
+		}
+		if serr := sh.store.Sync(); serr != nil && err == nil {
 			err = serr
 		}
-		if cerr := s.store.Close(); cerr != nil && err == nil {
+		if cerr := sh.store.Close(); cerr != nil && err == nil {
 			err = cerr
 		}
 	}

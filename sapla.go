@@ -141,6 +141,23 @@ type ConcurrentIndex = index.ConcurrentIndex
 // using inner directly.
 func NewConcurrentIndex(inner Index) *ConcurrentIndex { return index.NewConcurrent(inner) }
 
+// ShardedIndex partitions entries across N independently locked shards by a
+// stable hash of the entry ID. Writes to different shards proceed
+// concurrently; k-NN and range answers are byte-identical to the
+// single-shard answer for any shard count.
+type ShardedIndex = index.ShardedIndex
+
+// NewShardedIndex builds a sharded index, calling newInner once per shard to
+// construct its tree.
+func NewShardedIndex(shards int, newInner func(shard int) (Index, error)) (*ShardedIndex, error) {
+	return index.NewSharded(shards, newInner)
+}
+
+// ShardOf reports the shard a series ID maps to. The hash is seedless and
+// stable across processes — the routing a persisted per-shard WAL layout
+// depends on.
+func ShardOf(id, shards int) int { return index.ShardOf(id, shards) }
+
 // Baseline method constructors (paper Table 1).
 var (
 	// APLA is the optimal-but-slow adaptive linear DP baseline, O(Nn²).
