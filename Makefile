@@ -20,12 +20,17 @@ vet:
 # Repo-specific static analysis (internal/lint): zero-allocation hot paths,
 # mutex-guarded field access, float equality, eval/index determinism,
 # dropped errors, WAL append-before-acknowledge, context threading and
-# goroutine cancellability, lock-order cycles, and sync-value copies. Runs
-# with per-analyzer timing; set LINT_JSON=<file> to also write the machine-
-# readable report (CI uploads it as an artifact). See README "Static
-# analysis" for the annotation escapes.
+# goroutine cancellability, lock-order cycles, sync-value copies, and the
+# publication-safety trio for the lock-free read path (immutpub,
+# arenaretain, epochcheck). Runs with per-analyzer timing under a hard
+# wall-clock budget (LINT_BUDGET_MS, analysis cost only — package loading is
+# excluded) so the dataflow engine cannot quietly get slow; set
+# LINT_JSON=<file> to also write the machine-readable report and
+# LINT_SARIF=<file> for the SARIF log CI uploads to code scanning. See
+# README "Static analysis" for the annotation escapes.
+LINT_BUDGET_MS ?= 250
 lint:
-	$(GO) run ./cmd/sapla-lint -timing $(if $(LINT_JSON),-json-out $(LINT_JSON)) ./...
+	$(GO) run ./cmd/sapla-lint -timing -budget-ms $(LINT_BUDGET_MS) $(if $(LINT_JSON),-json-out $(LINT_JSON)) $(if $(LINT_SARIF),-sarif $(LINT_SARIF)) ./...
 
 # Fail if any file needs gofmt.
 fmtcheck:

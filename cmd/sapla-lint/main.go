@@ -5,19 +5,26 @@
 // worker-count-independent evaluation (determinism), no silently dropped
 // errors (errcheck), WAL-append-before-acknowledge ordering (walorder),
 // context threading and cancellable goroutines (ctxflow), a cycle-free
-// lock-acquisition order (lockorder) and no copied sync primitives or mixed
-// atomic/plain field access (copylocks).
+// lock-acquisition order (lockorder), no copied sync primitives or mixed
+// atomic/plain field access (copylocks), and the publication-safety trio
+// behind the lock-free read path — no writes through atomically published
+// values (immutpub), no arena-backed slices surviving a repack
+// (arenaretain), and epoch-bracketed snapshot reads (epochcheck).
 //
 // Usage:
 //
-//	sapla-lint [-checks noalloc,lockorder,...] [-json] [-json-out FILE] [-timing] [patterns...]
+//	sapla-lint [-checks noalloc,lockorder,...] [-json] [-json-out FILE] [-sarif FILE] [-timing] [-budget-ms N] [patterns...]
 //
 // Patterns default to ./... and are module-relative ("./internal/index",
-// "./internal/..."). Exit status: 0 clean, 1 findings, 2 usage or load
-// failure. Findings print as "file:line:col: [check] message"; -json emits
-// a machine-readable report on stdout instead, -json-out writes the same
-// report to a file (CI uploads it as an artifact), and -timing prints
-// per-analyzer wall-clock cost to stderr.
+// "./internal/..."). Exit status: 0 clean, 1 findings (or a blown timing
+// budget), 2 usage or load failure. Findings print as
+// "file:line:col: [check] message"; -json emits a machine-readable report
+// on stdout instead, -json-out writes the same report to a file (CI uploads
+// it as an artifact), and -sarif writes a SARIF 2.1.0 log for code-scanning
+// upload. The JSON report includes wall-clock timing only under -timing, so
+// plain -json output is byte-identical across runs; -timing also prints
+// per-analyzer cost to stderr, and -budget-ms fails the run when the
+// analyzers' total wall-clock cost exceeds the budget.
 package main
 
 import (
@@ -31,11 +38,14 @@ import (
 	"sapla/internal/lint"
 )
 
-// report is the machine-readable output of one run.
+// report is the machine-readable output of one run. Timing and TotalMs are
+// populated only under -timing: wall-clock figures are the one
+// nondeterministic part of the report, and without them the JSON output is
+// byte-identical across repeated runs.
 type report struct {
 	Findings []finding          `json:"findings"`
-	Timing   []lint.CheckTiming `json:"timing"`
-	TotalMs  float64            `json:"total_ms"`
+	Timing   []lint.CheckTiming `json:"timing,omitempty"`
+	TotalMs  float64            `json:"total_ms,omitempty"`
 	Clean    bool               `json:"clean"`
 }
 
@@ -53,7 +63,9 @@ func main() {
 	list := flag.Bool("list", false, "list available checks and exit")
 	jsonOut := flag.String("json-out", "", "write the JSON report to this file (written even when findings exist)")
 	jsonStdout := flag.Bool("json", false, "print the JSON report to stdout instead of text findings")
-	timing := flag.Bool("timing", false, "print per-analyzer timing to stderr")
+	sarifOut := flag.String("sarif", "", "write a SARIF 2.1.0 log to this file (written even when findings exist)")
+	timing := flag.Bool("timing", false, "print per-analyzer timing to stderr (and include it in JSON reports)")
+	budgetMs := flag.Float64("budget-ms", 0, "fail when the analyzers' total wall-clock cost exceeds this many milliseconds (0 = no budget)")
 	flag.Parse()
 
 	analyzers, err := lint.Analyzers(splitChecks(*checks)...)
@@ -77,9 +89,14 @@ func main() {
 	diags, timings := prog.RunTimed(analyzers)
 
 	cwd, _ := os.Getwd()
-	rep := report{Findings: []finding{}, Timing: timings, Clean: len(diags) == 0}
+	rep := report{Findings: []finding{}, Clean: len(diags) == 0}
+	var totalMs float64
 	for _, t := range timings {
-		rep.TotalMs += t.Millis
+		totalMs += t.Millis
+	}
+	if *timing {
+		rep.Timing = timings
+		rep.TotalMs = totalMs
 	}
 	for _, d := range diags {
 		rep.Findings = append(rep.Findings, finding{
@@ -95,7 +112,17 @@ func main() {
 		for _, t := range timings {
 			fmt.Fprintf(os.Stderr, "sapla-lint: %-12s %8.1fms %4d finding(s)\n", t.Check, t.Millis, t.Findings)
 		}
-		fmt.Fprintf(os.Stderr, "sapla-lint: %-12s %8.1fms\n", "total", rep.TotalMs)
+		fmt.Fprintf(os.Stderr, "sapla-lint: %-12s %8.1fms\n", "total", totalMs)
+	}
+	if *sarifOut != "" {
+		data, err := lint.SARIF(analyzers, diags, cwd)
+		if err == nil {
+			err = os.WriteFile(*sarifOut, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sapla-lint: write %s: %v\n", *sarifOut, err)
+			os.Exit(2)
+		}
 	}
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
@@ -107,6 +134,14 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	// The budget gates analyzer cost only (package loading is the compiler's
+	// bill, not the dataflow engine's); a blown budget fails the run even
+	// when the findings are clean.
+	budgetBlown := *budgetMs > 0 && totalMs > *budgetMs
+	if budgetBlown {
+		fmt.Fprintf(os.Stderr, "sapla-lint: timing budget exceeded: %.1fms of analysis > %.1fms budget\n", totalMs, *budgetMs)
+	}
+
 	if *jsonStdout {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -114,13 +149,16 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Println(string(data))
-		if len(diags) > 0 {
+		if len(diags) > 0 || budgetBlown {
 			os.Exit(1)
 		}
 		return
 	}
 
 	if len(diags) == 0 {
+		if budgetBlown {
+			os.Exit(1)
+		}
 		return
 	}
 	for _, f := range rep.Findings {

@@ -65,8 +65,11 @@ func (a *nodeArena) freeNode(id int32) {
 }
 
 // slotsOf returns node id's live slots. The slice aliases the arena: any
-// alloc may grow (and move) the backing array, so callers must not hold it
-// across an alloc.
+// alloc, reserve, reset or Compact may grow (and move) the backing array, so
+// callers must not hold it across such a call, return it, or store it in a
+// struct field. The arenaretain analyzer enforces this aliasing discipline
+// across the whole module; a caller that can prove its hold is safe escapes
+// with //sapla:retain <reason>.
 //
 //sapla:noalloc
 func (a *nodeArena) slotsOf(id int32) []int32 {

@@ -132,7 +132,12 @@ func (c *ConcurrentIndex) Len() int {
 	return c.inner.Len()
 }
 
-// Epoch returns the current mutation epoch.
+// Epoch returns the current mutation epoch. Epochs are monotone: every
+// mutation advances the counter exactly once, so an optimistic reader can
+// bracket a snapshot read — load the epoch, read the state, and accept the
+// read only if a second load observes the same value. The epochcheck
+// analyzer verifies that bracket protocol wherever the epoch moves to an
+// atomic field on the lock-free read path.
 func (c *ConcurrentIndex) Epoch() uint64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()

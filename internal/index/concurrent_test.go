@@ -260,6 +260,176 @@ func TestConcurrentIndexStress(t *testing.T) {
 	}
 }
 
+// TestShardedEpochMonotonicStress extends the epoch-monotonicity contract to
+// the sharded scatter-gather path: under concurrent per-shard mutation,
+//
+//   - each shard's epoch, sampled repeatedly from reader goroutines, never
+//     moves backwards (per-shard snapshots are monotonic — the invariant the
+//     lock-free read path's validation loop will retry on);
+//   - concurrent ShardedIndex.KNNWith answers stay sorted, duplicate-free,
+//     hold the complete never-deleted core set, and carry exact recomputed
+//     distances — a torn cross-shard gather would drop or corrupt entries.
+//
+// The shard count is 3 so the churn IDs spread unevenly (ShardOf hashes),
+// and writers own disjoint ID ranges so no ID is double-inserted.
+func TestShardedEpochMonotonicStress(t *testing.T) {
+	const (
+		n      = 64
+		m      = 12
+		coreN  = 24
+		chrnN  = 18
+		shards = 3
+	)
+	rng := rand.New(rand.NewSource(77))
+	meth := buildMethod(t, "SAPLA")
+
+	core := makeEntries(t, meth, rng, coreN, n, m)
+	churn := make([]*Entry, chrnN)
+	for i := range churn {
+		raw := randWalk(rng, n)
+		rep, err := meth.Reduce(raw, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		churn[i] = NewEntry(3000+i, raw, rep)
+	}
+
+	si, err := NewSharded(shards, func(int) (Index, error) {
+		tree, err := NewDBCH("SAPLA", 2, 5)
+		if err != nil {
+			return nil, err
+		}
+		tree.SafeBound = true
+		return tree, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := si.InsertBatch(core); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := make([]dist.Query, 4)
+	for i := range queries {
+		raw := randWalk(rng, n)
+		rep, err := meth.Reduce(raw, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries[i] = dist.NewQuery(raw, rep)
+	}
+
+	checkAnswer := func(q dist.Query, res []Result) {
+		seen := make(map[int]bool, len(res))
+		prev := math.Inf(-1)
+		for _, r := range res {
+			if r.Dist < prev {
+				t.Errorf("sharded results not sorted: %g after %g", r.Dist, prev)
+				return
+			}
+			prev = r.Dist
+			if seen[r.Entry.ID] {
+				t.Errorf("duplicate id %d in sharded gather", r.Entry.ID)
+				return
+			}
+			seen[r.Entry.ID] = true
+			exact := math.Sqrt(ts.EuclideanSq(q.Raw, r.Entry.Raw))
+			if math.Abs(exact-r.Dist) > 1e-9 {
+				t.Errorf("id %d: reported dist %g, exact %g (torn cross-shard read?)", r.Entry.ID, r.Dist, exact)
+				return
+			}
+		}
+		if len(res) < coreN {
+			t.Errorf("sharded k-NN returned %d results, fewer than the %d core entries", len(res), coreN)
+			return
+		}
+		for _, e := range core {
+			if !seen[e.ID] {
+				t.Errorf("core id %d missing from sharded k-NN (inconsistent shard snapshot)", e.ID)
+				return
+			}
+		}
+	}
+
+	dur := 800 * time.Millisecond
+	if testing.Short() {
+		dur = 150 * time.Millisecond
+	}
+	deadline := time.Now().Add(dur)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Writers: disjoint churn halves, cycled insert -> delete through the
+	// sharded router so every shard sees mutation traffic.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(mine []*Entry) {
+			defer wg.Done()
+			for !stop.Load() {
+				for _, e := range mine {
+					if err := si.Insert(e); err != nil {
+						t.Errorf("sharded insert: %v", err)
+						return
+					}
+				}
+				for _, e := range mine {
+					if !si.Delete(e.ID) {
+						t.Errorf("sharded delete %d: not found", e.ID)
+						return
+					}
+				}
+			}
+		}(churn[w*chrnN/2 : (w+1)*chrnN/2])
+	}
+
+	// Epoch watchers: each samples every shard's epoch in a tight loop and
+	// asserts per-shard monotonicity.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := make([]uint64, shards)
+			for !stop.Load() {
+				for i := 0; i < shards; i++ {
+					epoch := si.Shard(i).Epoch()
+					if epoch < last[i] {
+						t.Errorf("shard %d epoch moved backwards: %d -> %d", i, last[i], epoch)
+						return
+					}
+					last[i] = epoch
+				}
+			}
+		}()
+	}
+
+	// Scatter-gather readers: full-coverage KNNWith under mutation.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(q dist.Query) {
+			defer wg.Done()
+			ws := NewWorkspace()
+			for !stop.Load() {
+				res, _, err := si.KNNWith(ws, q, coreN+chrnN)
+				if err != nil {
+					t.Errorf("sharded knn: %v", err)
+					return
+				}
+				checkAnswer(q, res)
+			}
+		}(queries[r])
+	}
+
+	for time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if got := si.Len(); got != coreN {
+		t.Fatalf("final sharded Len = %d, want %d", got, coreN)
+	}
+}
+
 // TestConcurrentCompactionDuringQueries interleaves arena compaction with
 // batched writes and k-NN reads under the race detector. Compaction moves
 // every node and entry slot, so a search overlapping a rebuild without the

@@ -1,0 +1,285 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// EpochcheckAnalyzer enforces the optimistic-read bracket the lock-free
+// snapshot path depends on: a function that reads shard state under an
+// atomic epoch counter must (1) load the epoch before touching any state
+// reachable from the same root and (2) validate — re-load and compare —
+// after the reads and before the results leave the function. A read outside
+// the bracket is the torn-read pattern: the writer may have repacked nodes
+// mid-read and the unvalidated values mix two generations.
+//
+// Scope is deliberately narrow so the analyzer is the gate for the lock-free
+// rewrite without taxing today's mutex code: only functions that atomically
+// Load an epoch-named counter (an atomic field whose name contains "epoch")
+// are analyzed, and functions that also Store/Add/Swap it are writers —
+// they advance the epoch under the write lock and are exempt. The walk is
+// flow-sensitive: loaded-ness is a must-fact (false unless every path
+// loaded), pending unvalidated reads are a may-fact (union at joins), and a
+// comparison between two epoch observations closes the bracket. A read the
+// author can prove benign carries //sapla:epochok <reason>.
+var EpochcheckAnalyzer = &Analyzer{
+	Name: "epochcheck",
+	Doc:  "require snapshot-path shard reads to be bracketed by an epoch load/validate pair",
+	Run:  runEpochcheck,
+}
+
+func runEpochcheck(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &epochWalker{pass: p, info: p.Pkg.Info}
+			if !w.classify(fd.Body) {
+				continue
+			}
+			eng := &flowEngine{transfer: w.transfer, onReturn: w.onReturn}
+			final := eng.run(fd.Body, newEpochState())
+			if !final.done {
+				w.flushPending(final.st.(*epochState))
+			}
+		}
+	}
+}
+
+// epochState is the bracket lattice: whether an epoch was loaded on every
+// path in (must-fact), which locals hold epoch observations, and the state
+// reads performed since that are not yet covered by a validation (may-fact).
+type epochState struct {
+	loaded  bool
+	obs     map[*types.Var]bool
+	pending map[token.Pos]string // unvalidated state read -> rendering
+}
+
+func newEpochState() *epochState {
+	return &epochState{obs: make(map[*types.Var]bool), pending: make(map[token.Pos]string)}
+}
+
+func (s *epochState) Clone() flowState {
+	c := &epochState{
+		loaded:  s.loaded,
+		obs:     make(map[*types.Var]bool, len(s.obs)),
+		pending: make(map[token.Pos]string, len(s.pending)),
+	}
+	for v := range s.obs {
+		c.obs[v] = true
+	}
+	for pos, what := range s.pending {
+		c.pending[pos] = what
+	}
+	return c
+}
+
+func (s *epochState) Join(other flowState) bool {
+	o := other.(*epochState)
+	changed := false
+	if s.loaded && !o.loaded {
+		s.loaded = false
+		changed = true
+	}
+	for v := range o.obs {
+		if !s.obs[v] {
+			s.obs[v] = true
+			changed = true
+		}
+	}
+	for pos, what := range o.pending {
+		if _, ok := s.pending[pos]; !ok {
+			s.pending[pos] = what
+			changed = true
+		}
+	}
+	return changed
+}
+
+type epochWalker struct {
+	pass  *Pass
+	info  *types.Info
+	roots map[types.Object]bool // base objects whose epoch field is loaded
+}
+
+// classify pre-scans the body: collects the roots whose epoch counters are
+// atomically loaded and reports whether the function is a reader to analyze.
+// Writers — anything that Store/Add/Swap/CompareAndSwaps an epoch — advance
+// the counter under the write lock and are exempt.
+func (w *epochWalker) classify(body *ast.BlockStmt) bool {
+	w.roots = make(map[types.Object]bool)
+	writer := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !isEpochField(w.info, sel.X) {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Load":
+			if root := rootVar(w.info, sel.X); root != nil {
+				w.roots[root] = true
+			}
+		case "Store", "Add", "Swap", "CompareAndSwap":
+			writer = true
+		}
+		return true
+	})
+	return !writer && len(w.roots) > 0
+}
+
+// isEpochField matches a selector for a struct field of a sync/atomic type
+// whose name contains "epoch" — the generation counter of the optimistic
+// read protocol.
+func isEpochField(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	field, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || !field.IsField() || !strings.Contains(strings.ToLower(field.Name()), "epoch") {
+		return false
+	}
+	named, ok := field.Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// transfer interprets one leaf statement or control-flow operand.
+func (w *epochWalker) transfer(n ast.Node, fs flowState) {
+	st := fs.(*epochState)
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, rhs := range as.Rhs {
+			w.scan(rhs, st)
+		}
+		// x := s.epoch.Load() binds an observation the validation compares.
+		if len(as.Lhs) == len(as.Rhs) {
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if v, ok := objOf(w.info, id).(*types.Var); ok {
+					if w.isEpochLoad(as.Rhs[i]) {
+						st.obs[v] = true
+					} else {
+						delete(st.obs, v)
+					}
+				}
+			}
+		}
+		return
+	}
+	w.scan(n, st)
+}
+
+// scan walks one leaf in order, recording epoch loads, validations and
+// state reads.
+func (w *epochWalker) scan(n ast.Node, st *epochState) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BinaryExpr:
+			// A comparison between two epoch observations (a fresh Load
+			// against a saved one) closes the bracket: everything read
+			// since the open is validated.
+			if node.Op == token.EQL || node.Op == token.NEQ {
+				if w.isEpochObs(node.X, st) && w.isEpochObs(node.Y, st) {
+					w.scan(node.X, st) // a fresh Load side still sets loaded
+					w.scan(node.Y, st)
+					st.pending = make(map[token.Pos]string)
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if w.isEpochLoad(node) {
+				st.loaded = true
+				return false
+			}
+		case *ast.SelectorExpr:
+			if w.stateRead(node) {
+				what := renderExpr(node)
+				if !st.loaded {
+					w.pass.Reportf(node.Pos(),
+						"read of %s on the snapshot path precedes the epoch load that opens the bracket: load the epoch first (//sapla:epochok <reason> to override)",
+						what)
+				} else {
+					st.pending[node.Pos()] = what
+				}
+				return false // one read per selector chain
+			}
+		}
+		return true
+	})
+}
+
+// isEpochLoad matches <root>.<epoch field>.Load().
+func (w *epochWalker) isEpochLoad(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Load" && isEpochField(w.info, sel.X)
+}
+
+// isEpochObs matches either side of a validation comparison: a fresh epoch
+// load or a local holding a previous observation.
+func (w *epochWalker) isEpochObs(e ast.Expr, st *epochState) bool {
+	if w.isEpochLoad(e) {
+		return true
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if v, ok := objOf(w.info, id).(*types.Var); ok {
+			return st.obs[v]
+		}
+	}
+	return false
+}
+
+// stateRead matches a field read rooted at one of the epoch roots that is
+// not itself (part of) the epoch counter: shard state the bracket guards.
+func (w *epochWalker) stateRead(sel *ast.SelectorExpr) bool {
+	field, ok := w.info.Uses[sel.Sel].(*types.Var)
+	if !ok || !field.IsField() {
+		return false
+	}
+	if strings.Contains(strings.ToLower(field.Name()), "epoch") {
+		return false
+	}
+	root := rootVar(w.info, sel.X)
+	if root == nil || !w.roots[root] {
+		return false
+	}
+	// Only direct roots: sel.X must reduce to the root identifier so nested
+	// unrelated selectors do not trigger.
+	return true
+}
+
+// onReturn flushes unvalidated reads at an exit: results computed from them
+// leave the function unverified.
+func (w *epochWalker) onReturn(_ *ast.ReturnStmt, fs flowState) {
+	w.flushPending(fs.(*epochState))
+}
+
+func (w *epochWalker) flushPending(st *epochState) {
+	for pos, what := range st.pending {
+		w.pass.Reportf(pos,
+			"state read %s inside the epoch bracket is never validated: re-load the epoch and compare before the result escapes (//sapla:epochok <reason> to override)",
+			what)
+	}
+}

@@ -1,0 +1,346 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// ImmutpubAnalyzer enforces the copy-on-write half of the lock-free read
+// protocol: once a value has been published to concurrent readers through
+// atomic.Pointer.Store/Swap/CompareAndSwap or atomic.Value, no write may go
+// through any alias of it — readers hold it with no lock, so a post-publish
+// write is a data race the moment the RWMutex comes off the read path.
+//
+// The analysis is a flow-sensitive walk (dataflow.go) with a per-variable
+// provenance state: each local maps to the set of allocation sites it may
+// point to, and each allocation site is either fresh or published. Writes
+// through a fresh value are the normal constructor pattern and stay silent;
+// a publication (directly, or through a helper whose summary says it
+// publishes that parameter) moves the sites to published, and any later
+// write through an alias is a finding. Re-binding a variable to a new
+// allocation is a strong update, so the replace-then-publish COW loop
+// analyzes cleanly. Constructor-phase writes that are provably unobservable
+// (e.g. re-stamping before the structure is reachable) carry
+// //sapla:prepub <reason>.
+var ImmutpubAnalyzer = &Analyzer{
+	Name: "immutpub",
+	Doc:  "forbid writes through values already published to readers via atomic.Pointer/atomic.Value",
+	Run:  runImmutpub,
+}
+
+func runImmutpub(p *Pass) {
+	ip := p.Prog.Interproc()
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			// Only functions that may publish (directly or transitively)
+			// can have a write-after-publish; everyone else skips the walk.
+			sum := ip.Summary(fn)
+			if sum == nil || sum.Effects&EffPublish == 0 {
+				continue
+			}
+			w := &immutWalker{pass: p, ip: ip, info: p.Pkg.Info}
+			eng := &flowEngine{transfer: w.transfer}
+			eng.run(fd.Body, newPubState(p.Pkg.Info, fd))
+		}
+	}
+}
+
+// pubState is the immutpub lattice: a may-point-to map from locals to
+// allocation sites, plus the set of sites that have been published (each
+// with one witness publication position for the message).
+type pubState struct {
+	vars map[*types.Var]idset
+	pub  map[token.Pos]token.Pos // allocation site -> publication witness
+}
+
+// idset is a small set of allocation-site positions.
+type idset map[token.Pos]bool
+
+func (s idset) clone() idset {
+	c := make(idset, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+// newPubState seeds the state: the receiver and every parameter get their
+// own synthetic allocation site, so publishing a parameter and then writing
+// through it is caught (the caller's value escaped to readers).
+func newPubState(info *types.Info, fd *ast.FuncDecl) *pubState {
+	st := &pubState{vars: make(map[*types.Var]idset), pub: make(map[token.Pos]token.Pos)}
+	bind := func(fields *ast.FieldList) {
+		if fields == nil {
+			return
+		}
+		for _, f := range fields.List {
+			for _, name := range f.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					st.vars[v] = idset{name.Pos(): true}
+				}
+			}
+		}
+	}
+	bind(fd.Recv)
+	bind(fd.Type.Params)
+	return st
+}
+
+func (s *pubState) Clone() flowState {
+	c := &pubState{vars: make(map[*types.Var]idset, len(s.vars)), pub: make(map[token.Pos]token.Pos, len(s.pub))}
+	for v, ids := range s.vars {
+		c.vars[v] = ids.clone()
+	}
+	for site, at := range s.pub {
+		c.pub[site] = at
+	}
+	return c
+}
+
+func (s *pubState) Join(other flowState) bool {
+	o := other.(*pubState)
+	changed := false
+	for v, ids := range o.vars {
+		have, ok := s.vars[v]
+		if !ok {
+			s.vars[v] = ids.clone()
+			changed = true
+			continue
+		}
+		for id := range ids {
+			if !have[id] {
+				have[id] = true
+				changed = true
+			}
+		}
+	}
+	for site, at := range o.pub {
+		have, ok := s.pub[site]
+		if !ok || at < have { // keep the earliest witness: deterministic messages
+			s.pub[site] = at
+			changed = changed || !ok
+		}
+	}
+	return changed
+}
+
+// publish marks every site in ids as published at pos.
+func (s *pubState) publish(ids idset, pos token.Pos) {
+	for id := range ids {
+		if have, ok := s.pub[id]; !ok || pos < have {
+			s.pub[id] = pos
+		}
+	}
+}
+
+// publishedAt returns the earliest publication witness covering any site the
+// set may point to, or token.NoPos.
+func (s *pubState) publishedAt(ids idset) token.Pos {
+	best := token.NoPos
+	for id := range ids {
+		if at, ok := s.pub[id]; ok && (best == token.NoPos || at < best) {
+			best = at
+		}
+	}
+	return best
+}
+
+type immutWalker struct {
+	pass *Pass
+	ip   *Interproc
+	info *types.Info
+}
+
+// transfer interprets one leaf statement or control-flow operand.
+func (w *immutWalker) transfer(n ast.Node, fs flowState) {
+	st := fs.(*pubState)
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		w.assign(n, st)
+	case *ast.IncDecStmt:
+		w.scanCalls(n.X, st)
+		w.checkWrite(n.X, st)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						w.scanCalls(vs.Values[i], st)
+						if v, ok := w.info.Defs[name].(*types.Var); ok {
+							st.vars[v] = w.pointees(vs.Values[i], st)
+						}
+					}
+				}
+			}
+		}
+	default:
+		// Expression statements, send, defer, go, return results,
+		// conditions, switch tags, case expressions: publications may hide
+		// in any of them.
+		w.scanCalls(n, st)
+	}
+}
+
+// assign handles RHS publications, provenance propagation and LHS writes, in
+// evaluation order.
+func (w *immutWalker) assign(n *ast.AssignStmt, st *pubState) {
+	for _, rhs := range n.Rhs {
+		w.scanCalls(rhs, st)
+	}
+	tuple := len(n.Lhs) > 1 && len(n.Rhs) == 1
+	for i, lhs := range n.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if id.Name == "_" {
+				continue
+			}
+			v, ok := objOf(w.info, id).(*types.Var)
+			if !ok {
+				continue
+			}
+			// Strong update: the variable now points only at the new value.
+			if tuple || n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+				// Multi-value unpack or op= (+=, |=, …): provenance unknown
+				// (op= keeps scalars scalar; unpacked values are untracked).
+				if tuple {
+					st.vars[v] = idset{}
+				}
+				continue
+			}
+			st.vars[v] = w.pointees(n.Rhs[i], st)
+			continue
+		}
+		// Write through a selector/index/deref: a violation when the root
+		// may be published; and anything assigned INTO a published value is
+		// itself reachable by readers now.
+		w.checkWrite(lhs, st)
+		if root := rootVar(w.info, lhs); root != nil {
+			if at := st.publishedAt(st.vars[root]); at != token.NoPos && !tuple && i < len(n.Rhs) {
+				st.publish(w.pointees(n.Rhs[i], st), at)
+			}
+		}
+	}
+}
+
+// checkWrite reports a write through any alias of a published value.
+func (w *immutWalker) checkWrite(lhs ast.Expr, st *pubState) {
+	root := rootVar(w.info, lhs)
+	if root == nil {
+		return
+	}
+	if at := st.publishedAt(st.vars[root]); at != token.NoPos {
+		pos := w.pass.Fset().Position(at)
+		w.pass.Reportf(lhs.Pos(),
+			"write through %s after it was published to readers at %s:%d: published values are immutable — copy-on-write, or mark a provably pre-publication write //sapla:prepub <reason>",
+			root.Name(), filepath.Base(pos.Filename), pos.Line)
+	}
+}
+
+// scanCalls walks an expression tree (skipping function literals) applying
+// publication events: direct atomic publications and calls to helpers whose
+// summary publishes a parameter.
+func (w *immutWalker) scanCalls(n ast.Node, st *pubState) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			w.call(node, st)
+		}
+		return true
+	})
+}
+
+func (w *immutWalker) call(call *ast.CallExpr, st *pubState) {
+	if args := atomicPubArgs(w.info, call); len(args) > 0 {
+		for _, a := range args {
+			st.publish(w.pointees(a, st), call.Pos())
+		}
+		return
+	}
+	for _, callee := range w.ip.Callees(w.info, call) {
+		sum := w.ip.Summary(callee)
+		if sum == nil || sum.PubParams == 0 {
+			continue
+		}
+		for i, arg := range call.Args {
+			if i < 32 && sum.PubParams&(1<<i) != 0 {
+				st.publish(w.pointees(arg, st), call.Pos())
+			}
+		}
+	}
+}
+
+// pointees evaluates an expression to the set of allocation sites it may
+// denote: a tracked variable's set, or a fresh site for &T{}, new/make and
+// composite literals. Everything else is an empty (untracked) set.
+func (w *immutWalker) pointees(e ast.Expr, st *pubState) idset {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := objOf(w.info, e).(*types.Var); ok {
+			if ids, ok := st.vars[v]; ok {
+				return ids.clone()
+			}
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return idset{e.Pos(): true}
+		}
+	case *ast.CompositeLit:
+		return idset{e.Pos(): true}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := objOf(w.info, id).(*types.Builtin); ok && (b.Name() == "new" || b.Name() == "make") {
+				return idset{e.Pos(): true}
+			}
+		}
+	}
+	return idset{}
+}
+
+// objOf resolves an identifier through Uses then Defs.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// rootVar returns the variable at the root of a write target: x in x.f = v,
+// x[i] = v, *x = v and chains thereof. Package-level and field selectors
+// resolve to the base identifier's object.
+func rootVar(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, _ := objOf(info, x).(*types.Var)
+			return v
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -23,6 +23,15 @@
 //	                           best-effort compensation on an error path)
 //	//sapla:detach <reason>    suppresses a ctxflow finding on its line (a
 //	                           deliberately detached context or goroutine)
+//	//sapla:prepub <reason>    suppresses an immutpub finding on its line (a
+//	                           constructor-phase write provably before any
+//	                           reader can observe the value)
+//	//sapla:retain <reason>    suppresses an arenaretain finding on its line
+//	                           (an arena-backed slice held across a call that
+//	                           provably cannot move the slot arrays)
+//	//sapla:epochok <reason>   suppresses an epochcheck finding on its line
+//	                           (a snapshot-path read provably safe outside
+//	                           the epoch bracket)
 //
 // Suppression directives require a reason: an annotation that does not say
 // why the exception is sound is itself a finding. A directive trailing code
@@ -101,6 +110,9 @@ const (
 	DirErrOK    = "errok"
 	DirVolatile = "volatile"
 	DirDetach   = "detach"
+	DirPrepub   = "prepub"
+	DirRetain   = "retain"
+	DirEpochOK  = "epochok"
 )
 
 // suppressDirective maps an analyzer to the directive that silences it.
@@ -111,6 +123,9 @@ var suppressDirective = map[string]string{
 	"errcheck":    DirErrOK,
 	"walorder":    DirVolatile,
 	"ctxflow":     DirDetach,
+	"immutpub":    DirPrepub,
+	"arenaretain": DirRetain,
+	"epochcheck":  DirEpochOK,
 }
 
 // knownDirectives is every accepted //sapla: directive and whether it
@@ -123,6 +138,9 @@ var knownDirectives = map[string]bool{
 	DirErrOK:    true,
 	DirVolatile: true,
 	DirDetach:   true,
+	DirPrepub:   true,
+	DirRetain:   true,
+	DirEpochOK:  true,
 }
 
 // directive is one parsed //sapla: comment.
@@ -206,7 +224,7 @@ func (prog *Program) indexDirectives() []Diagnostic {
 					diags = append(diags, Diagnostic{
 						Pos:   pos,
 						Check: "directive",
-						Message: fmt.Sprintf("unknown directive //sapla:%s (known: alloc, detach, errok, floateq, noalloc, nondet, volatile)",
+						Message: fmt.Sprintf("unknown directive //sapla:%s (known: alloc, detach, epochok, errok, floateq, noalloc, nondet, prepub, retain, volatile)",
 							d.name),
 					})
 					continue
@@ -274,6 +292,9 @@ func Analyzers(names ...string) ([]*Analyzer, error) {
 		CtxflowAnalyzer,
 		LockorderAnalyzer,
 		CopylocksAnalyzer,
+		ImmutpubAnalyzer,
+		ArenaretainAnalyzer,
+		EpochcheckAnalyzer,
 	}
 	if len(names) == 0 {
 		return all, nil
@@ -325,7 +346,8 @@ func (prog *Program) RunTimed(analyzers []*Analyzer) ([]Diagnostic, []CheckTimin
 	needIP := false
 	for _, a := range analyzers {
 		switch a.Name {
-		case "walorder", "ctxflow", "lockorder", "noalloc", "lockguard":
+		case "walorder", "ctxflow", "lockorder", "noalloc", "lockguard",
+			"immutpub", "arenaretain":
 			needIP = true
 		}
 	}

@@ -110,6 +110,55 @@ func TestWalorder(t *testing.T)          { runFixture(t, "walorder", "walorder")
 func TestCtxflow(t *testing.T)           { runFixture(t, "ctxflow", "ctxflow") }
 func TestLockorder(t *testing.T)         { runFixture(t, "lockorder", "lockorder") }
 func TestCopylocks(t *testing.T)         { runFixture(t, "copylocks", "copylocks") }
+func TestImmutpub(t *testing.T)          { runFixture(t, "immutpub", "immutpub") }
+func TestArenaretain(t *testing.T)       { runFixture(t, "arenaretain", "arenaretain") }
+func TestEpochcheck(t *testing.T)        { runFixture(t, "epochcheck", "epochcheck") }
+
+// TestFindingsDeterministic is the byte-stability contract behind -json and
+// the golden fixtures: the full analyzer suite over every fixture package
+// (the packages with findings) must render identically run after run,
+// regardless of map iteration order anywhere in the framework.
+func TestFindingsDeterministic(t *testing.T) {
+	fixtures := []string{
+		"./internal/lint/testdata/src/noalloc",
+		"./internal/lint/testdata/src/lockguard",
+		"./internal/lint/testdata/src/floatcmp",
+		"./internal/lint/testdata/src/eval",
+		"./internal/lint/testdata/src/errcheck",
+		"./internal/lint/testdata/src/walorder",
+		"./internal/lint/testdata/src/ctxflow",
+		"./internal/lint/testdata/src/lockorder",
+		"./internal/lint/testdata/src/copylocks",
+		"./internal/lint/testdata/src/immutpub",
+		"./internal/lint/testdata/src/arenaretain",
+		"./internal/lint/testdata/src/epochcheck",
+	}
+	analyzers, err := lint.Analyzers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func() string {
+		prog, err := lint.Load(".", fixtures)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, d := range prog.Run(analyzers) {
+			sb.WriteString(d.String())
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+	first := render()
+	if first == "" {
+		t.Fatal("expected findings from the fixture packages")
+	}
+	for i := 0; i < 2; i++ {
+		if again := render(); again != first {
+			t.Fatalf("finding output differs between runs:\n--- first ---\n%s--- run %d ---\n%s", first, i+2, again)
+		}
+	}
+}
 
 // TestDirectiveValidation asserts the malformed-directive diagnostics of the
 // directive fixture programmatically: several point at full-line comments

@@ -29,6 +29,14 @@ const (
 	// EffCancel: observes a cancellation signal — ctx.Done()/ctx.Err(), or
 	// a receive from a chan struct{} stop channel.
 	EffCancel
+	// EffMayRepack: may move the arena's node storage arrays (alloc/reserve/
+	// reset on a type named nodeArena, or any method named Compact), which
+	// invalidates every outstanding slice into them. freeNode is deliberately
+	// NOT in this set: it only grows the free list, never the slot arrays.
+	EffMayRepack
+	// EffPublish: may publish a value to concurrent readers via
+	// atomic.Pointer.Store/Swap/CompareAndSwap or atomic.Value equivalents.
+	EffPublish
 )
 
 // ackClass classifies whether a response write acknowledges success. The
@@ -93,6 +101,11 @@ type Summary struct {
 	// to the position of one witness acquisition (a direct Lock/RLock, or
 	// the call that reaches one).
 	Acquires map[*types.Var]token.Pos
+	// PubParams is a bitset of parameter indices (0..31) whose argument the
+	// function may publish to concurrent readers, directly or through a
+	// callee. Call sites fold it the way ackParam folds: the bit moves to
+	// whichever caller parameter was passed in that position.
+	PubParams uint32
 }
 
 // Summary returns fn's effect summary, or nil for functions outside the
@@ -126,6 +139,7 @@ func (ip *Interproc) updateSummary(fi *FuncInfo) bool {
 	eff := baseEffects(fi)
 	ack := ackInfo{class: ackNo}
 	acq := make(map[*types.Var]token.Pos, len(s.Acquires))
+	var pub uint32
 
 	info := fi.Pkg.Info
 	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
@@ -156,6 +170,12 @@ func (ip *Interproc) updateSummary(fi *FuncInfo) bool {
 				ack = ackJoin(ack, respAck)
 				return true
 			}
+			if args := atomicPubArgs(info, n); len(args) > 0 {
+				eff |= EffPublish
+				for _, a := range args {
+					pub |= pubParamBit(info, fi.Decl, a)
+				}
+			}
 			for _, callee := range ip.Callees(info, n) {
 				cs := ip.summaries[callee]
 				eff |= cs.Effects
@@ -165,6 +185,13 @@ func (ip *Interproc) updateSummary(fi *FuncInfo) bool {
 				for mu := range cs.Acquires {
 					if _, ok := acq[mu]; !ok {
 						acq[mu] = n.Pos()
+					}
+				}
+				if cs.PubParams != 0 {
+					for i, arg := range n.Args {
+						if i < 32 && cs.PubParams&(1<<i) != 0 {
+							pub |= pubParamBit(info, fi.Decl, arg)
+						}
 					}
 				}
 			}
@@ -186,6 +213,10 @@ func (ip *Interproc) updateSummary(fi *FuncInfo) bool {
 			s.Acquires[mu] = pos
 			grew = true
 		}
+	}
+	if pub|s.PubParams != s.PubParams {
+		s.PubParams |= pub
+		grew = true
 	}
 	return grew
 }
@@ -209,6 +240,11 @@ func baseEffects(fi *FuncInfo) Effect {
 	if !ok {
 		return 0
 	}
+	if fn.Name() == "Compact" {
+		// Compaction repacks node storage wholesale (DBCH.Compact, the
+		// Compactor interface, fixture models alike).
+		return EffMayRepack
+	}
 	switch named.Obj().Name() {
 	case "Store":
 		if len(fn.Name()) > 6 && fn.Name()[:6] == "Append" {
@@ -218,6 +254,77 @@ func baseEffects(fi *FuncInfo) Effect {
 		if fn.Name() == "Insert" || fn.Name() == "InsertBatch" || fn.Name() == "Delete" {
 			return EffMutate
 		}
+	case "nodeArena":
+		// The primitives that may grow/move the SoA backing arrays. freeNode
+		// only appends to the free list and never moves the slot arrays, so
+		// holding a slotsOf slice across it is safe.
+		switch fn.Name() {
+		case "alloc", "reserve", "reset":
+			return EffMayRepack
+		}
+	}
+	return 0
+}
+
+// atomicPubArgs returns the value operands of a publication call — Store(x),
+// Swap(x), CompareAndSwap(old, new) on a sync/atomic Pointer or Value — or
+// nil when the call is not a publication. Only the values being made visible
+// to readers count (CompareAndSwap's new, not its old).
+func atomicPubArgs(info *types.Info, call *ast.CallExpr) []ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	var vals []ast.Expr
+	switch sel.Sel.Name {
+	case "Store", "Swap":
+		if len(call.Args) != 1 {
+			return nil
+		}
+		vals = call.Args[:1]
+	case "CompareAndSwap":
+		if len(call.Args) != 2 {
+			return nil
+		}
+		vals = call.Args[1:2]
+	default:
+		return nil
+	}
+	if !isAtomicPubType(typeOf(info, sel.X)) {
+		return nil
+	}
+	return vals
+}
+
+// isAtomicPubType reports whether t is sync/atomic's Pointer[T] or Value —
+// the reference-publishing atomics. The scalar atomics (Int64, Uint64, …)
+// publish by value and carry no aliasing, so they are not publication sites.
+func isAtomicPubType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	return obj.Name() == "Pointer" || obj.Name() == "Value"
+}
+
+// pubParamBit maps a published argument back onto the enclosing function's
+// parameter bitset: publishing parameter i sets bit i so call sites can fold
+// the fact through, the way foldAck folds status parameters.
+func pubParamBit(info *types.Info, enclosing *ast.FuncDecl, arg ast.Expr) uint32 {
+	id, ok := ast.Unparen(arg).(*ast.Ident)
+	if !ok || enclosing == nil {
+		return 0
+	}
+	obj, ok := info.Uses[id].(*types.Var)
+	if !ok {
+		return 0
+	}
+	if idx := paramIndex(info, enclosing, obj); idx >= 0 && idx < 32 {
+		return 1 << idx
 	}
 	return 0
 }

@@ -1,0 +1,126 @@
+// Package arenaretain exercises the arenaretain analyzer with a local model
+// of the SoA arena: slotsOf hands out slices aliasing the backing arrays,
+// alloc/reserve/reset/Compact may move them, and the discipline is that no
+// alias survives a may-repack call or escapes the deriving function.
+package arenaretain
+
+type nodeArena struct {
+	slotCap int32
+	count   []int32
+	slots   []int32
+}
+
+// slotsOf aliases the backing array — the source the analyzer tracks.
+func (a *nodeArena) slotsOf(id int32) []int32 {
+	base := id * a.slotCap
+	return a.slots[base : base+a.count[id]]
+}
+
+// alloc may grow (and therefore move) the backing arrays.
+func (a *nodeArena) alloc() int32 {
+	a.slots = append(a.slots, 0)
+	a.count = append(a.count, 0)
+	return int32(len(a.count) - 1)
+}
+
+// Compact repacks storage wholesale.
+func (a *nodeArena) Compact() {
+	a.slots = a.slots[:0]
+}
+
+type tree struct {
+	ar    nodeArena
+	cache []int32
+}
+
+// grow repacks through a helper: EffMayRepack flows into its summary.
+func (t *tree) grow() int32 {
+	return t.ar.alloc()
+}
+
+// peek holds no repack effect — the transitive negative.
+func (t *tree) peek(nd int32) int32 {
+	ss := t.ar.slotsOf(nd)
+	if len(ss) == 0 {
+		return -1
+	}
+	return ss[0]
+}
+
+// goodBeforeRepack uses the slice strictly before the alloc: the
+// copy-then-alloc split idiom.
+func goodBeforeRepack(t *tree, nd int32) int32 {
+	ss := t.ar.slotsOf(nd)
+	first := ss[0]
+	_ = t.ar.alloc()
+	return first
+}
+
+// badAfterRepack reads through the slice after alloc may have moved it.
+func badAfterRepack(t *tree, nd int32) int32 {
+	ss := t.ar.slotsOf(nd)
+	_ = t.ar.alloc()
+	return ss[0] // want "used after alloc may have repacked"
+}
+
+// badTransitive repacks through the helper; the effect summary carries it.
+func badTransitive(t *tree, nd int32) int32 {
+	ss := t.ar.slotsOf(nd)
+	_ = t.grow()
+	return ss[0] // want "used after grow may have repacked"
+}
+
+// goodTransitive holds the slice across a helper with no repack effect.
+func goodTransitive(t *tree, nd int32) int32 {
+	ss := t.ar.slotsOf(nd)
+	_ = t.peek(nd)
+	return ss[0]
+}
+
+// badReturn leaks the alias to the caller, who cannot know when it dies.
+func badReturn(t *tree, nd int32) []int32 {
+	return t.ar.slotsOf(nd) // want "escapes via return"
+}
+
+// goodReturnCopy returns a value copy — always safe.
+func goodReturnCopy(t *tree, nd int32) []int32 {
+	return append([]int32(nil), t.ar.slotsOf(nd)...)
+}
+
+// badStore parks the alias in a long-lived struct.
+func badStore(t *tree, nd int32) {
+	t.cache = t.ar.slotsOf(nd) // want "stored in t.cache"
+}
+
+// goodStoreCopy appends the values instead: provenance follows the
+// destination, not the source.
+func goodStoreCopy(t *tree, nd int32) {
+	t.cache = append(t.cache, t.ar.slotsOf(nd)...)
+}
+
+// badRange repacks inside a loop ranging directly over the source: every
+// iteration after the first re-reads storage that may have moved.
+func badRange(t *tree, nd int32) {
+	for _, c := range t.ar.slotsOf(nd) { // want "ranging over an arena-backed slice"
+		if c > 0 {
+			_ = t.grow()
+		}
+	}
+}
+
+// goodRange never repacks in the body.
+func goodRange(t *tree, nd int32) int32 {
+	var sum int32
+	for _, c := range t.ar.slotsOf(nd) {
+		sum += c
+	}
+	return sum
+}
+
+// escaped shows the sanctioned override: the author proves the call cannot
+// move the slot arrays (e.g. capacity was reserved up front).
+func escaped(t *tree, nd int32) int32 {
+	ss := t.ar.slotsOf(nd)
+	_ = t.grow()
+	return ss[0] //sapla:retain fixture: capacity pre-reserved, alloc cannot move slots here
+}

@@ -1,0 +1,86 @@
+// Package epochcheck exercises the epochcheck analyzer with a model shard:
+// an atomic epoch counter guards optimistic snapshot reads. Readers must
+// load the epoch, read state, then validate by re-loading and comparing;
+// writers advance the counter under the write lock and are exempt.
+package epochcheck
+
+import "sync/atomic"
+
+type shard struct {
+	epoch atomic.Uint64
+	size  int
+	data  []int
+}
+
+// goodSnapshot is the canonical optimistic-read loop: open the bracket,
+// read into locals, validate, retry on a torn generation.
+func goodSnapshot(s *shard) int {
+	for {
+		e := s.epoch.Load()
+		n := s.size
+		if s.epoch.Load() == e {
+			return n
+		}
+	}
+}
+
+// badNoValidate reads inside the bracket but never validates: a writer may
+// have repacked mid-read and the result mixes two generations.
+func badNoValidate(s *shard) int {
+	_ = s.epoch.Load()
+	return s.size // want "never validated"
+}
+
+// badReadBeforeLoad touches state before the bracket opens.
+func badReadBeforeLoad(s *shard) int {
+	n := s.size // want "precedes the epoch load"
+	e := s.epoch.Load()
+	if s.epoch.Load() != e {
+		return -1
+	}
+	return n
+}
+
+// badPartialValidate validates the first batch of reads but lets a second
+// batch escape unvalidated.
+func badPartialValidate(s *shard) int {
+	e := s.epoch.Load()
+	n := s.size
+	if s.epoch.Load() != e {
+		return -1
+	}
+	m := len(s.data) // want "never validated"
+	return n + m
+}
+
+// bump is a writer: it advances the epoch under the write lock, so the
+// read bracket does not apply.
+func bump(s *shard) {
+	s.size++
+	s.data = append(s.data, s.size)
+	s.epoch.Add(1)
+}
+
+// snapshotLen is a correctly bracketed helper...
+func snapshotLen(s *shard) int {
+	for {
+		e := s.epoch.Load()
+		n := s.size
+		if s.epoch.Load() == e {
+			return n
+		}
+	}
+}
+
+// ...and throughHelper is the transitive negative: it performs no atomic
+// epoch load of its own, so the bracket obligation stays with the helper.
+func throughHelper(s *shard) int {
+	return snapshotLen(s) + 1
+}
+
+// escaped shows the sanctioned override for a read the author can prove
+// safe outside the bracket (e.g. an immutable field set before publication).
+func escaped(s *shard) int {
+	_ = s.epoch.Load()
+	return s.size //sapla:epochok fixture: size is sealed before the shard is published
+}

@@ -1,0 +1,111 @@
+// Package immutpub exercises the immutpub analyzer: writes through values
+// after they are published to concurrent readers via atomic.Pointer or
+// atomic.Value are findings; constructor-phase writes before publication and
+// full copy-on-write replacement are the sanctioned patterns.
+package immutpub
+
+import "sync/atomic"
+
+type node struct {
+	key  int
+	next *node
+}
+
+type list struct {
+	head atomic.Pointer[node]
+}
+
+// good is the copy-on-write discipline: build fresh, mutate while private,
+// publish last, never touch again.
+func good(l *list) {
+	n := &node{}
+	n.key = 1
+	n.next = l.head.Load()
+	l.head.Store(n)
+}
+
+// bad mutates after publication: readers already hold n without a lock.
+func bad(l *list) {
+	n := &node{}
+	n.key = 1
+	l.head.Store(n)
+	n.key = 2 // want "write through n after it was published"
+}
+
+// badAlias mutates through a second name for the published value.
+func badAlias(l *list) {
+	n := &node{}
+	m := n
+	l.head.Store(n)
+	m.key = 2 // want "write through m after it was published"
+}
+
+// badBranch publishes on one path only: the write is still a may-violation.
+func badBranch(l *list, cond bool) {
+	n := &node{}
+	if cond {
+		l.head.Store(n)
+	}
+	n.key = 2 // want "write through n after it was published"
+}
+
+// badSwap: Swap publishes exactly like Store.
+func badSwap(l *list) {
+	n := &node{}
+	l.head.Swap(n)
+	n.next = nil // want "write through n after it was published"
+}
+
+// badValue: atomic.Value publishes reference types the same way.
+type box struct {
+	v atomic.Value
+}
+
+func badValue(b *box) {
+	m := make(map[string]int)
+	b.v.Store(m)
+	m["k"] = 1 // want "write through m after it was published"
+}
+
+// install is a publication helper: its PubParams summary marks parameter 1.
+func install(l *list, n *node) {
+	l.head.Store(n)
+}
+
+// badViaHelper publishes through the helper; the fact folds back through
+// the call site interprocedurally.
+func badViaHelper(l *list) {
+	n := &node{}
+	install(l, n)
+	n.key = 2 // want "write through n after it was published"
+}
+
+// stamp only mutates; a helper that does not publish must not taint its
+// arguments (the transitive negative).
+func stamp(n *node) {
+	n.key = 9
+}
+
+func goodViaHelper(l *list) {
+	n := &node{}
+	stamp(n)
+	l.head.Store(n)
+}
+
+// goodRebind re-points the variable at a fresh node after publishing the
+// old one: the strong update keeps the COW loop clean.
+func goodRebind(l *list) {
+	n := &node{}
+	l.head.Store(n)
+	n = &node{}
+	n.key = 3
+	l.head.Store(n)
+}
+
+// escaped shows the sanctioned override for a write the author can prove
+// happens before any reader observes the value.
+func escaped(l *list) {
+	n := &node{}
+	l.head.Store(n)
+	n.key = 4 //sapla:prepub fixture: store is to a list no reader has been handed yet
+}
