@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all ci build test race race-short crash cover bench benchdiff vet lint fmtcheck fuzz experiments report clean
+.PHONY: all ci build test race race-short crash faults cover bench benchdiff vet lint fmtcheck fuzz experiments report clean
 
 all: build vet lint test race-short
 
@@ -31,6 +31,11 @@ vet:
 LINT_BUDGET_MS ?= 250
 lint:
 	$(GO) run ./cmd/sapla-lint -timing -budget-ms $(LINT_BUDGET_MS) $(if $(LINT_JSON),-json-out $(LINT_JSON)) $(if $(LINT_SARIF),-sarif $(LINT_SARIF)) ./...
+	@escapes=$$(grep -nE '//sapla:(prepub|epochok|retain)' internal/index/concurrent.go internal/index/cow.go internal/index/ebr.go 2>/dev/null); \
+	if [ -n "$$escapes" ]; then \
+		echo "FAIL: the lock-free read path must pass the publication-safety analyzers clean, not silence them:"; \
+		echo "$$escapes"; exit 1; \
+	fi
 
 # Fail if any file needs gofmt.
 fmtcheck:
@@ -62,6 +67,16 @@ race-short:
 CRASH_COUNT ?= 3
 crash:
 	$(GO) test -race -count=$(CRASH_COUNT) -run 'CrashRecovery' ./internal/wal ./internal/server
+
+# Fault-injection suite for the lock-free copy-on-write read path under the
+# race detector, repeated: writers stalled mid-mutation (reads must complete
+# against the previous view, bit-identical to quiesced answers), readers
+# pinning old epochs (reclamation lag must grow, then drain), and delayed
+# reclamation tripping the writer-throttle valve. Nightly bumps FAULT_COUNT
+# for a longer soak, alongside the crash-recovery one.
+FAULT_COUNT ?= 3
+faults:
+	$(GO) test -race -count=$(FAULT_COUNT) -run 'FaultInjection' ./internal/index
 
 # Coverage gate for the index and durability cores: writes cover.out
 # (uploaded by CI as an artifact on every run) and fails when combined

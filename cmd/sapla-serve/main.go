@@ -61,6 +61,7 @@ func main() {
 
 		compactEvery = flag.Duration("compact-every", time.Minute, "period of the background arena compaction check (negative = never compact)")
 		compactFrag  = flag.Float64("compact-fragmentation", 0.3, "fraction of freed arena slots that triggers a compaction")
+		reclaimBound = flag.Int("reclaim-bound", 0, "per-shard retired-slot ceiling before writers throttle to let epoch-based reclamation catch up (0 = default 65536, negative = unbounded)")
 
 		maxSearch = flag.Int("max-inflight-search", 256, "concurrently admitted search requests before shedding with 429")
 		maxWrite  = flag.Int("max-inflight-write", 256, "concurrently admitted write requests before shedding with 429")
@@ -83,6 +84,7 @@ func main() {
 		SnapshotEvery:        *snapEvery,
 		CompactEvery:         *compactEvery,
 		CompactFragmentation: *compactFrag,
+		ReclaimBound:         *reclaimBound,
 		MaxInflightSearch:    *maxSearch,
 		MaxInflightWrite:     *maxWrite,
 	})

@@ -1,0 +1,166 @@
+package index
+
+// retirement is one frozen arena slot awaiting epoch-based reclamation: id
+// may be recycled once every reader pin has advanced past epoch (the views
+// published at or before epoch are the only ones that can still reach it).
+type retirement struct {
+	id    int32
+	epoch uint64
+}
+
+// enableCOW switches the tree to copy-on-write mutation: nodes and entries
+// frozen into a published view are never written again — mutations copy the
+// touched path into fresh arena slots and retire the originals, and Compact
+// rebuilds into wholly fresh arenas instead of resetting in place. Called
+// once by NewConcurrent before the first publication; the tree must not be
+// shared with readers yet.
+func (t *DBCH) enableCOW() {
+	t.cowOn = true
+}
+
+// snapshotCOW seals the current tree state into an immutable view and
+// advances the freeze watermarks: every node and entry id allocated so far
+// is frozen, so the next mutation window copies before writing any of them.
+// The returned tree shares the arena backing arrays with the writer — safe
+// because frozen indices are never rewritten until reclamation proves no
+// reader can reach them, and appended growth lands beyond every published
+// view's slice lengths (or in a fresh backing array). Writer-only state
+// (free lists, scratch, retirement queues) is stripped: a view only reads.
+func (t *DBCH) snapshotCOW() *DBCH {
+	t.frozenNodes = int32(t.ar.len())
+	t.frozenEnts = int32(len(t.ents))
+	v := *t
+	v.ar.free = nil
+	v.entFree = nil
+	v.orphans, v.scratchA, v.scratchB, v.hullScratch = nil, nil, nil, nil
+	v.dm = nil
+	v.retired, v.retiredE = nil, nil
+	v.cowOn = false
+	return &v
+}
+
+// mutableNode returns a node id the current mutation window may write:
+// nd itself when the tree is not copy-on-write or nd was allocated after the
+// last publish, otherwise a fresh copy of nd, with nd retired under the
+// current window's epoch stamp. Callers must re-root every alias (parent
+// slot, t.root) at the returned id.
+//
+//sapla:noalloc
+func (t *DBCH) mutableNode(nd int32) int32 {
+	if !t.cowOn || nd >= t.frozenNodes {
+		return nd
+	}
+	id := t.ar.alloc(t.ar.isLeaf[nd])
+	t.ar.setSlots(id, t.ar.slotsOf(nd))
+	t.ar.hullU[id], t.ar.hullL[id] = t.ar.hullU[nd], t.ar.hullL[nd]
+	t.ar.volume[id] = t.ar.volume[nd]
+	t.ar.coverU[id], t.ar.coverL[id] = t.ar.coverU[nd], t.ar.coverL[nd]
+	t.retired = append(t.retired, retirement{id: nd, epoch: t.cowStamp}) //sapla:alloc amortised retirement-queue growth; drained by reclamation
+	return id
+}
+
+// replaceChild rewrites nd's slot holding old to new, after a child was
+// copied by mutableNode. nd must itself be mutable.
+//
+//sapla:noalloc
+func (t *DBCH) replaceChild(nd, old, new int32) {
+	base := nd * t.ar.slotCap
+	for i := int32(0); i < t.ar.count[nd]; i++ {
+		if t.ar.slots[base+i] == old {
+			t.ar.slots[base+i] = new
+			return
+		}
+	}
+}
+
+// retireOrFree releases a node id: frozen ids are queued for epoch-based
+// reclamation (their header must stay intact for in-flight readers), ids
+// allocated in the current window go straight back to the free list.
+//
+//sapla:noalloc
+func (t *DBCH) retireOrFree(nd int32) {
+	if t.cowOn && nd < t.frozenNodes {
+		t.retired = append(t.retired, retirement{id: nd, epoch: t.cowStamp}) //sapla:alloc amortised retirement-queue growth; drained by reclamation
+		return
+	}
+	t.ar.freeNode(nd)
+}
+
+// retireOrFreeEntry releases an entry id under the same discipline: frozen
+// entries keep their ents slot (readers may still dereference it) until
+// reclamation, fresh ones are freed immediately.
+//
+//sapla:noalloc
+func (t *DBCH) retireOrFreeEntry(eid int32) {
+	if t.cowOn && eid < t.frozenEnts {
+		t.retiredE = append(t.retiredE, retirement{id: eid, epoch: t.cowStamp}) //sapla:alloc amortised retirement-queue growth; drained by reclamation
+		return
+	}
+	t.freeEntry(eid)
+}
+
+// reclaimCOW recycles every retirement stamped before minPin — the smallest
+// epoch any in-flight reader still pins (^uint64(0) when no reader is
+// pinned). A retirement stamped e is referenced only by views published at
+// or before e; minPin > e means every pinned reader loaded a later view, so
+// the slot can rejoin the free lists without any reader observing the reuse.
+func (t *DBCH) reclaimCOW(minPin uint64) {
+	keep := t.retired[:0]
+	for _, r := range t.retired {
+		if r.epoch < minPin {
+			t.ar.freeNode(r.id)
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	t.retired = keep
+	keepE := t.retiredE[:0]
+	for _, r := range t.retiredE {
+		if r.epoch < minPin {
+			t.freeEntry(r.id)
+		} else {
+			keepE = append(keepE, r)
+		}
+	}
+	t.retiredE = keepE
+}
+
+// retireLag reports the number of arena slots (nodes plus entries) retired
+// but not yet reclaimed — the memory the COW scheme holds for in-flight or
+// stalled readers. The writer-throttle valve bounds it.
+func (t *DBCH) retireLag() int { return len(t.retired) + len(t.retiredE) }
+
+// compactCOW rebuilds the tree into wholly fresh arenas: live entries are
+// collected (skipping retired-but-unreclaimed ones), fresh backing arrays
+// replace the old, and the tree is bulk-loaded back. Published views keep
+// the old arrays alive until their readers drain, then the garbage collector
+// reclaims them wholesale — which also empties the retirement queues, since
+// every queued id indexed the replaced arrays.
+func (t *DBCH) compactCOW() {
+	deadEnt := make([]bool, len(t.ents))
+	for _, r := range t.retiredE {
+		deadEnt[r.id] = true
+	}
+	live := make([]*Entry, 0, t.size)
+	for id, e := range t.ents {
+		if e != nil && !deadEnt[id] {
+			live = append(live, e)
+		}
+	}
+	t.ar = nodeArena{slotCap: t.ar.slotCap}
+	t.ents = make([]*Entry, 0, len(live))
+	t.entFree = nil
+	t.retired, t.retiredE = nil, nil
+	t.frozenNodes, t.frozenEnts = 0, 0
+	t.root = nilNode
+	t.size = len(live)
+	if len(live) == 0 {
+		return
+	}
+	ids := make([]int32, len(live))
+	for i, e := range live {
+		t.ents = append(t.ents, e)
+		ids[i] = int32(i)
+	}
+	t.bulkLoad(ids)
+}

@@ -77,9 +77,9 @@ func collectEntries(nd *rnode, out *[]*Entry) {
 
 // Delete removes the entry with the given ID from the DBCH-tree, condensing
 // underfull nodes and rebuilding hulls on the path. Condensed subtrees
-// return their nodes to the arena free list; their entries keep their
-// entry-arena ids and are reinserted. It reports whether the entry was
-// found.
+// release their nodes (straight to the free list, or through the retirement
+// queue under copy-on-write); their entries keep their entry-arena ids and
+// are reinserted. It reports whether the entry was found.
 //
 //sapla:noalloc
 func (t *DBCH) Delete(id int) bool {
@@ -87,20 +87,23 @@ func (t *DBCH) Delete(id int) bool {
 		return false
 	}
 	t.orphans = t.orphans[:0]
-	found, _ := t.deleteRec(t.root, id)
+	found, _, newRoot := t.deleteRec(t.root, id)
 	if !found {
 		return false
 	}
+	t.root = newRoot
 	t.size--
 	// Shrink the root: an internal root with one child collapses; an empty
-	// leaf root resets the tree.
+	// leaf root resets the tree. The collapsed-away root is released; the
+	// surviving child may stay frozen — pointing the writer's root at a
+	// frozen node is fine, it is only ever written through mutableNode.
 	for !t.ar.isLeaf[t.root] && t.ar.count[t.root] == 1 {
 		old := t.root
 		t.root = t.ar.slotsOf(old)[0]
-		t.ar.freeNode(old)
+		t.retireOrFree(old)
 	}
 	if t.ar.isLeaf[t.root] && t.ar.count[t.root] == 0 {
-		t.ar.freeNode(t.root)
+		t.retireOrFree(t.root)
 		t.root = nilNode
 	}
 	for _, eid := range t.orphans {
@@ -109,48 +112,64 @@ func (t *DBCH) Delete(id int) bool {
 	return true
 }
 
-// deleteRec removes id under nd, rebuilding hulls bottom-up.
-func (t *DBCH) deleteRec(nd int32, id int) (found, underflow bool) {
+// deleteRec removes id under nd, rebuilding hulls bottom-up. It returns the
+// node that replaces nd: under copy-on-write the found path is copied before
+// it is written (mutableNode), so the parent must re-root the returned id.
+// Children are scanned by index against the arena directly — descending may
+// allocate copies and repack the slot array, so no slotsOf slice may be held
+// across the recursion.
+func (t *DBCH) deleteRec(nd int32, id int) (found, underflow bool, out int32) {
 	if t.ar.isLeaf[nd] {
-		for i, eid := range t.ar.slotsOf(nd) {
-			if t.ents[eid].ID == id {
-				t.ar.removeSlot(nd, i)
-				t.freeEntry(eid)
-				if t.ar.count[nd] > 0 {
-					t.rebuildLeafHull(nd)
-				}
-				return true, int(t.ar.count[nd]) < t.minFill
+		n := int(t.ar.count[nd])
+		for i := 0; i < n; i++ {
+			eid := t.ar.slots[nd*t.ar.slotCap+int32(i)]
+			if t.ents[eid].ID != id {
+				continue
 			}
+			nd = t.mutableNode(nd)
+			t.ar.removeSlot(nd, i)
+			t.retireOrFreeEntry(eid)
+			if t.ar.count[nd] > 0 {
+				t.rebuildLeafHull(nd)
+			}
+			return true, int(t.ar.count[nd]) < t.minFill, nd
 		}
-		return false, false
+		return false, false, nd
 	}
-	for i, ch := range t.ar.slotsOf(nd) {
-		f, uf := t.deleteRec(ch, id)
+	n := int(t.ar.count[nd])
+	for i := 0; i < n; i++ {
+		ch := t.ar.slots[nd*t.ar.slotCap+int32(i)]
+		f, uf, newCh := t.deleteRec(ch, id)
 		if !f {
 			continue
 		}
+		nd = t.mutableNode(nd)
 		if uf {
 			t.ar.removeSlot(nd, i)
-			t.collectSubtree(ch)
+			t.collectSubtree(newCh)
+		} else if newCh != ch {
+			t.ar.slots[nd*t.ar.slotCap+int32(i)] = newCh
 		}
 		if t.ar.count[nd] > 0 {
 			t.rebuildInternalHull(nd)
 		}
-		return true, int(t.ar.count[nd]) < t.minFill
+		return true, int(t.ar.count[nd]) < t.minFill, nd
 	}
-	return false, false
+	return false, false, nd
 }
 
 // collectSubtree gathers every entry id in a subtree into t.orphans and
-// returns the subtree's nodes to the free list.
+// releases the subtree's nodes (free list, or retirement queue for frozen
+// ids under copy-on-write). Nothing here repacks the arena, so ranging over
+// the slot block is safe.
 func (t *DBCH) collectSubtree(nd int32) {
 	if t.ar.isLeaf[nd] {
 		t.orphans = append(t.orphans, t.ar.slotsOf(nd)...) //sapla:alloc amortised orphan-buffer growth; reused across deletes
-		t.ar.freeNode(nd)
+		t.retireOrFree(nd)
 		return
 	}
 	for _, c := range t.ar.slotsOf(nd) {
 		t.collectSubtree(c)
 	}
-	t.ar.freeNode(nd)
+	t.retireOrFree(nd)
 }

@@ -1,0 +1,118 @@
+package index
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// pinSlots is the number of lock-free reader pin slots. Readers beyond this
+// many simultaneous pins fall back to a mutex-guarded overflow list — still
+// independent of the writer lock, so reads stay wait-free with respect to
+// writers even under extreme fan-in.
+const pinSlots = 64
+
+// pinSlot is one reader's pin cell, padded to a cache line so concurrent
+// pinning readers do not false-share.
+type pinSlot struct {
+	v atomic.Uint64 // pinned epoch + 1; 0 = idle
+	_ [56]byte
+}
+
+// readerPins is the epoch-based-reclamation registry: each in-flight
+// lock-free read pins the epoch it observed before loading the view, and a
+// writer reclaims a retired arena slot only once every pin has advanced past
+// the retirement's epoch. Pinning is a single CAS on a striped slot (no
+// shared mutex, no writer interaction); min is the writer-side scan.
+type readerPins struct {
+	slots  [pinSlots]pinSlot
+	cursor atomic.Uint32
+
+	// Overflow pins beyond pinSlots simultaneous readers. ovMu is a
+	// reader-only mutex: index writers never hold it while mutating, so the
+	// fallback preserves reader independence from the write lock.
+	ovMu sync.Mutex
+	ov   []uint64 // pinned epoch + 1 per slot; 0 = free
+}
+
+// acquire pins epoch and returns the slot token for release. The probe is
+// bounded: pinSlots CAS attempts, then the overflow list.
+//
+//sapla:noalloc
+func (p *readerPins) acquire(epoch uint64) int {
+	start := p.cursor.Add(1)
+	for i := uint32(0); i < pinSlots; i++ {
+		s := &p.slots[(start+i)%pinSlots]
+		if s.v.CompareAndSwap(0, epoch+1) {
+			return int((start + i) % pinSlots)
+		}
+	}
+	p.ovMu.Lock()
+	for i := range p.ov {
+		if p.ov[i] == 0 {
+			p.ov[i] = epoch + 1
+			p.ovMu.Unlock()
+			return pinSlots + i
+		}
+	}
+	p.ov = append(p.ov, epoch+1) //sapla:alloc overflow growth beyond 64 simultaneous pins; steady state reuses freed overflow slots
+	i := len(p.ov) - 1
+	p.ovMu.Unlock()
+	return pinSlots + i
+}
+
+// release clears the pin acquired under token slot.
+//
+//sapla:noalloc
+func (p *readerPins) release(slot int) {
+	if slot < pinSlots {
+		p.slots[slot].v.Store(0)
+		return
+	}
+	p.ovMu.Lock()
+	p.ov[slot-pinSlots] = 0
+	p.ovMu.Unlock()
+}
+
+// min returns the smallest pinned epoch, or ^uint64(0) when no reader is
+// pinned. A retirement stamped e is reclaimable once min() > e: every
+// pinned reader then observed a view published after e, and views published
+// after e no longer reference the retired slot.
+func (p *readerPins) min() uint64 {
+	m := ^uint64(0)
+	for i := range p.slots {
+		if v := p.slots[i].v.Load(); v != 0 && v-1 < m {
+			m = v - 1
+		}
+	}
+	p.ovMu.Lock()
+	for _, v := range p.ov {
+		if v != 0 && v-1 < m {
+			m = v - 1
+		}
+	}
+	p.ovMu.Unlock()
+	return m
+}
+
+// FaultHooks injects faults into the copy-on-write publish/reclaim protocol
+// for robustness tests: a stalled writer must never block readers, a delayed
+// reclamation must only grow the lag metric, and a slow reader pinning an
+// old epoch must hold back reclamation without corrupting answers. All hooks
+// are optional; a nil hook is skipped. Install with SetFaultHooks (the
+// pointer is published atomically, so hooks can be swapped mid-run).
+type FaultHooks struct {
+	// WriterStall runs with the writer lock held, after the mutation but
+	// before the new view is published — the window where a crashed or
+	// stalled writer must leave readers on the old view.
+	WriterStall func()
+	// ReaderStall runs on the lock-free read path after the reader pinned
+	// its epoch and loaded a view, simulating a slow traversal that holds
+	// its pin while writers publish past it.
+	ReaderStall func()
+	// ReclaimDelay runs before a post-publish reclamation pass; returning
+	// true skips the pass, so retirements accumulate as reclamation lag.
+	ReclaimDelay func() bool
+	// ThrottleWait replaces the default writer-throttle backoff sleep, so
+	// tests can count throttle rounds without real delays.
+	ThrottleWait func()
+}

@@ -1,0 +1,259 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sapla/internal/dist"
+)
+
+// bitIdentical reports whether two result lists agree exactly: same length,
+// same IDs in the same order, and Float64bits-identical distances.
+func bitIdentical(a, b []Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Entry.ID != b[i].Entry.ID ||
+			math.Float64bits(a[i].Dist) != math.Float64bits(b[i].Dist) {
+			return false
+		}
+	}
+	return true
+}
+
+func cloneResults(res []Result) []Result {
+	out := make([]Result, len(res))
+	copy(out, res)
+	return out
+}
+
+// TestFaultInjectionStalledWriter is the acceptance-criterion test: a writer
+// frozen mid-mutation (after mutating, before publishing) holds the shard's
+// exclusive lock indefinitely, and lock-free k-NN reads must still complete
+// against the previous published view with answers bit-identical to the
+// quiesced index.
+func TestFaultInjectionStalledWriter(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	meth := buildMethod(t, "SAPLA")
+	entries := makeEntries(t, meth, rng, 60, 128, 12)
+	ci := newConcurrentDBCH(t)
+	if err := ci.InsertBatch(entries[:59]); err != nil {
+		t.Fatal(err)
+	}
+
+	const k = 7
+	q := dist.NewQuery(entries[3].Raw, entries[3].Rep)
+	ws := NewWorkspace()
+	quiesced, _, err := ci.KNNWith(ws, q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cloneResults(quiesced)
+	epochBefore := ci.Epoch()
+
+	stalled := make(chan struct{})
+	unstall := make(chan struct{})
+	var once atomic.Bool
+	ci.SetFaultHooks(&FaultHooks{WriterStall: func() {
+		if once.CompareAndSwap(false, true) {
+			close(stalled)
+			<-unstall
+		}
+	}})
+
+	writerDone := make(chan error, 1)
+	go func() { writerDone <- ci.Insert(entries[59]) }()
+	<-stalled // the writer now holds the exclusive lock, mutation applied, view unpublished
+
+	// Reads must complete and match the quiesced answers while the writer
+	// is frozen. The timeout turns a wait-freedom regression (reader
+	// blocking on the writer lock) into a failure instead of a hang.
+	readDone := make(chan []Result, 1)
+	go func() {
+		res, _, err := ci.KNNWith(NewWorkspace(), q, k)
+		if err != nil {
+			t.Error(err)
+		}
+		readDone <- cloneResults(res)
+	}()
+	select {
+	case got := <-readDone:
+		if !bitIdentical(got, want) {
+			t.Fatalf("stalled-writer read diverged from quiesced answers:\n got %v\nwant %v", got, want)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("KNNWith blocked behind a stalled writer; reads are not wait-free")
+	}
+	if e := ci.Epoch(); e != epochBefore {
+		t.Fatalf("epoch moved during stall: %d -> %d (unpublished mutation leaked)", epochBefore, e)
+	}
+	if n := ci.Len(); n != 59 {
+		t.Fatalf("Len during stall = %d, want 59 (published view only)", n)
+	}
+
+	close(unstall)
+	if err := <-writerDone; err != nil {
+		t.Fatal(err)
+	}
+	ci.SetFaultHooks(nil)
+	if e := ci.Epoch(); e != epochBefore+1 {
+		t.Fatalf("epoch after release = %d, want %d", e, epochBefore+1)
+	}
+	if n := ci.Len(); n != 60 {
+		t.Fatalf("Len after release = %d, want 60", n)
+	}
+	// The released insert must be visible: a self-query for the new entry.
+	qn := dist.NewQuery(entries[59].Raw, entries[59].Rep)
+	res, _, err := ci.KNNWith(ws, qn, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Entry.ID != entries[59].ID {
+		t.Fatalf("new entry not visible after stall released: %v", res)
+	}
+}
+
+// TestFaultInjectionReaderPinsBlockReclaim holds a reader pinned on an old
+// epoch while writers churn: reclamation lag must grow (the pinned view's
+// slots stay intact) and then drain once the reader releases its pin.
+func TestFaultInjectionReaderPinsBlockReclaim(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	meth := buildMethod(t, "SAPLA")
+	entries := makeEntries(t, meth, rng, 80, 128, 12)
+	ci := newConcurrentDBCH(t)
+	if err := ci.InsertBatch(entries); err != nil {
+		t.Fatal(err)
+	}
+	ci.SetReclaimBound(0) // disable the valve: this test wants the lag to grow
+
+	const k = 5
+	q := dist.NewQuery(entries[0].Raw, entries[0].Rep)
+	ws := NewWorkspace()
+	want := cloneResults(func() []Result {
+		res, _, err := ci.KNNWith(ws, q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}())
+
+	stalled := make(chan struct{})
+	release := make(chan struct{})
+	var once atomic.Bool
+	ci.SetFaultHooks(&FaultHooks{ReaderStall: func() {
+		if once.CompareAndSwap(false, true) {
+			close(stalled)
+			<-release
+		}
+	}})
+
+	readDone := make(chan []Result, 1)
+	go func() {
+		res, _, err := ci.KNNWith(NewWorkspace(), q, k)
+		if err != nil {
+			t.Error(err)
+		}
+		readDone <- cloneResults(res)
+	}()
+	<-stalled // the reader is pinned on the current epoch, mid-traversal
+
+	// Churn: deletes retire frozen nodes and entries; the pinned reader must
+	// hold them back from the free lists.
+	for i := 10; i < 40; i++ {
+		if !ci.Delete(entries[i].ID) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	lagPinned := ci.ReclaimLag()
+	if lagPinned == 0 {
+		t.Fatal("reclamation lag stayed zero with a pinned reader under churn")
+	}
+
+	close(release)
+	got := <-readDone
+	// The stalled read observed the churn's publishes at validation, so it
+	// re-ran once against the final view: its answers must match a quiesced
+	// query of the post-churn tree (the pre-churn answers would also be a
+	// valid linearization if no retry fired).
+	wantAfter, _, err := ci.KNNWith(ws, q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitIdentical(got, wantAfter) && !bitIdentical(got, want) {
+		t.Fatalf("stalled reader returned answers matching no published view:\n  got %v\n  pre-churn %v\n  post-churn %v", got, want, wantAfter)
+	}
+	if ci.ReadRetries() == 0 {
+		t.Fatal("read_retries stayed zero though the stalled read overlapped 30 publishes")
+	}
+
+	// With the pin gone, the next mutations' reclamation passes drain the
+	// backlog: everything retired before the final publish frees.
+	for i := 40; i < 42; i++ {
+		if !ci.Delete(entries[i].ID) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if lag := ci.ReclaimLag(); lag >= lagPinned {
+		t.Fatalf("reclamation lag did not drain after pin release: %d -> %d", lagPinned, lag)
+	}
+	ci.SetFaultHooks(nil)
+}
+
+// TestFaultInjectionWriterThrottle drives reclamation lag past a tiny bound
+// with the ReclaimDelay fault and asserts the degradation valve throttles
+// the writer — counting rounds through the ThrottleWait hook instead of
+// sleeping — while reads stay untouched, then drains once the fault lifts.
+func TestFaultInjectionWriterThrottle(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	meth := buildMethod(t, "SAPLA")
+	entries := makeEntries(t, meth, rng, 60, 128, 12)
+	ci := newConcurrentDBCH(t)
+	if err := ci.InsertBatch(entries); err != nil {
+		t.Fatal(err)
+	}
+	ci.SetReclaimBound(1)
+
+	var delayOn atomic.Bool
+	delayOn.Store(true)
+	var rounds atomic.Uint64
+	ci.SetFaultHooks(&FaultHooks{
+		ReclaimDelay: func() bool { return delayOn.Load() },
+		ThrottleWait: func() { rounds.Add(1) },
+	})
+
+	for i := 0; i < 20; i++ {
+		if !ci.Delete(entries[i].ID) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if ci.WriterThrottles() == 0 || rounds.Load() == 0 {
+		t.Fatalf("writer never throttled: counter=%d hook rounds=%d (lag=%d)",
+			ci.WriterThrottles(), rounds.Load(), ci.ReclaimLag())
+	}
+
+	// Reads are never throttled: a query completes and answers correctly
+	// while the lag is outstanding.
+	q := dist.NewQuery(entries[30].Raw, entries[30].Rep)
+	res, _, err := ci.KNNWith(NewWorkspace(), q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Entry.ID != entries[30].ID {
+		t.Fatalf("query under throttle pressure: %v", res)
+	}
+
+	// Lift the fault: the throttle loop's own reclamation pass (no pinned
+	// readers remain) drains the backlog below the bound.
+	delayOn.Store(false)
+	if !ci.Delete(entries[20].ID) {
+		t.Fatal("delete after fault lift failed")
+	}
+	if lag := ci.ReclaimLag(); lag > 1 {
+		t.Fatalf("reclamation lag %d did not drain below bound after fault lifted", lag)
+	}
+	ci.SetFaultHooks(nil)
+}

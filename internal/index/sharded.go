@@ -33,12 +33,15 @@ func ShardOf(id, shards int) int {
 }
 
 // ShardedIndex partitions entries across N independent ConcurrentIndex
-// shards by ShardOf(entry ID). Each shard owns its own tree, write lock and
-// epoch counter, so writes to different shards proceed concurrently and a
-// compacting shard never blocks the others; queries scatter across every
-// shard and gather through the canonical (distance, ID) merge, which makes
-// k-NN and range answers byte-identical to the single-shard answer for any
-// shard count.
+// shards by ShardOf(entry ID). Each shard owns its own tree, write lock,
+// published view and epoch counter, so writes to different shards proceed
+// concurrently and a compacting shard never blocks the others; with
+// DBCH-tree shards, reads are lock-free — a query scatters across every
+// shard's current published view without touching any write lock, so even
+// the shard whose writer is mid-mutation answers immediately. The gather
+// runs through the canonical (distance, ID) merge, which makes k-NN and
+// range answers byte-identical to the single-shard answer for any shard
+// count.
 type ShardedIndex struct {
 	shards []*ConcurrentIndex
 }
@@ -154,6 +157,46 @@ func (s *ShardedIndex) Compact(minFragmentation float64) int {
 	return n
 }
 
+// SetReclaimBound sets every shard's retired-slot ceiling past which that
+// shard's writer throttles to let epoch-based reclamation catch up. Zero or
+// negative disables throttling.
+func (s *ShardedIndex) SetReclaimBound(n int) {
+	for _, sh := range s.shards {
+		sh.SetReclaimBound(n)
+	}
+}
+
+// ReadRetries sums the per-shard counts of lock-free reads that observed a
+// concurrent publish mid-traversal and re-ran.
+func (s *ShardedIndex) ReadRetries() uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		n += sh.ReadRetries()
+	}
+	return n
+}
+
+// WriterThrottles sums the per-shard counts of writer backoff rounds spent
+// waiting for reclamation to drop below the bound.
+func (s *ShardedIndex) WriterThrottles() uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		n += sh.WriterThrottles()
+	}
+	return n
+}
+
+// ReclaimLag sums the per-shard counts of retired-but-unreclaimed arena
+// slots — the memory the copy-on-write scheme currently holds for in-flight
+// or stalled readers.
+func (s *ShardedIndex) ReclaimLag() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.ReclaimLag()
+	}
+	return n
+}
+
 // Fragmentation reports the entry-weighted mean fragmentation across shards
 // (the fraction of dead arena slots a full compaction would reclaim).
 func (s *ShardedIndex) Fragmentation() float64 {
@@ -203,8 +246,9 @@ func (s *ShardedIndex) KNN(q dist.Query, k int) ([]Result, SearchStats, error) {
 // shard's top-k is gathered into the workspace's candidate buffer, then the
 // global top-k is selected under the canonical (distance, ID) order. Each
 // shard's top-k under that order is a superset of its contribution to the
-// global top-k, so the merge loses nothing. Every shard search runs under
-// that shard's own shared lock; the parallel fan-out lives in BatchKNN.
+// global top-k, so the merge loses nothing. Every shard search runs against
+// that shard's published view (lock-free for DBCH-tree shards); the
+// parallel fan-out lives in BatchKNN.
 //
 //sapla:noalloc
 func (s *ShardedIndex) KNNWith(ws *Workspace, q dist.Query, k int) ([]Result, SearchStats, error) {

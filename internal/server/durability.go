@@ -256,10 +256,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusServiceUnavailable
 	}
 	body := map[string]any{
-		"status":     stateName(st),
-		"index_size": s.idx.Len(),
-		"shards":     len(s.shards),
-		"durable":    s.durable(),
+		"status":            stateName(st),
+		"index_size":        s.idx.Len(),
+		"shards":            len(s.shards),
+		"durable":           s.durable(),
+		"reclaim_lag_slots": s.idx.ReclaimLag(),
 	}
 	if s.durable() {
 		unsynced := 0

@@ -241,17 +241,20 @@ func (s *Server) metricsHandler(w http.ResponseWriter, r *http.Request) {
 	})
 
 	idx := map[string]any{
-		"size":          s.idx.Len(),
-		"epoch":         s.idx.Epoch(),
-		"shards":        s.idx.NumShards(),
-		"method":        s.cfg.Method,
-		"coeff_budget":  s.cfg.M,
-		"series_length": s.seriesLen(),
-		"ingested":      m.ingested.Value(),
-		"deleted":       m.deleted.Value(),
-		"compactions":   m.compactions.Value(),
-		"compact_time":  json.RawMessage(m.compactTime.String()),
-		"fragmentation": s.idx.Fragmentation(),
+		"size":              s.idx.Len(),
+		"epoch":             s.idx.Epoch(),
+		"shards":            s.idx.NumShards(),
+		"method":            s.cfg.Method,
+		"coeff_budget":      s.cfg.M,
+		"series_length":     s.seriesLen(),
+		"ingested":          m.ingested.Value(),
+		"deleted":           m.deleted.Value(),
+		"compactions":       m.compactions.Value(),
+		"compact_time":      json.RawMessage(m.compactTime.String()),
+		"fragmentation":     s.idx.Fragmentation(),
+		"read_retries":      s.idx.ReadRetries(),
+		"reclaim_lag_slots": s.idx.ReclaimLag(),
+		"writer_throttle":   s.idx.WriterThrottles(),
 	}
 	if st, ok := s.treeStats(); ok {
 		idx["tree"] = map[string]any{
@@ -270,9 +273,12 @@ func (s *Server) metricsHandler(w http.ResponseWriter, r *http.Request) {
 	for i, shState := range s.shards {
 		sh := s.idx.Shard(i)
 		sd := map[string]any{
-			"size":        sh.Len(),
-			"epoch":       sh.Epoch(),
-			"compactions": m.shardCompactions[i].Value(),
+			"size":              sh.Len(),
+			"epoch":             sh.Epoch(),
+			"compactions":       m.shardCompactions[i].Value(),
+			"read_retries":      sh.ReadRetries(),
+			"reclaim_lag_slots": sh.ReclaimLag(),
+			"writer_throttle":   sh.WriterThrottles(),
 		}
 		sh.View(func(inner index.Index) {
 			if comp, ok := inner.(index.Compactor); ok {

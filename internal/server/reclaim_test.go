@@ -1,0 +1,131 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync/atomic"
+	"testing"
+
+	"sapla/internal/index"
+)
+
+// TestMetricsReclamationCounters drives the copy-on-write read/reclaim
+// machinery through the HTTP surface and asserts the three new counters —
+// read_retries, reclaim_lag_slots, writer_throttle — flow to /metrics (both
+// the index aggregate and the per-shard slice) and that /readyz reports the
+// reclamation lag. A fault-hook-stalled reader pins an old epoch on shard 0
+// while deletes churn that shard: the pin blocks reclamation (lag grows, the
+// tiny bound makes the writer throttle) and the publishes it overlaps force
+// the read to retry once released.
+func TestMetricsReclamationCounters(t *testing.T) {
+	const n, count, shards = 64, 30, 2
+	s, hs := newTestServer(t, Config{M: 12, Shards: shards, ReclaimBound: 1})
+	client := hs.Client()
+	rng := rand.New(rand.NewSource(11))
+
+	series := make(map[int][]float64, count)
+	for i := 0; i < count; i++ {
+		sr := randWalk(rng, n)
+		series[i] = sr
+		ingestOne(t, client, hs.URL, nil, sr)
+	}
+
+	stalled := make(chan struct{})
+	release := make(chan struct{})
+	var once atomic.Bool
+	s.Index().Shard(0).SetFaultHooks(&index.FaultHooks{
+		ReaderStall: func() {
+			if once.CompareAndSwap(false, true) {
+				close(stalled)
+				<-release
+			}
+		},
+		ThrottleWait: func() {}, // count throttle rounds without real sleeps
+	})
+
+	knnDone := make(chan int, 1)
+	go func() {
+		var knn struct {
+			Results []struct {
+				ID int `json:"id"`
+			} `json:"results"`
+		}
+		code := doJSON(t, client, "POST", hs.URL+"/v1/knn",
+			map[string]any{"values": series[0], "k": 5}, &knn)
+		knnDone <- code
+	}()
+	<-stalled // the query is pinned on shard 0's current epoch, mid-traversal
+
+	// Delete shard-0 series: each publish retires the copied path and the
+	// entry, and the pinned reader holds every retirement back from the
+	// free lists, so the lag climbs past the bound of 1 and throttles fire.
+	deleted := 0
+	for id := 0; id < count && deleted < 5; id++ {
+		if index.ShardOf(id, shards) != 0 || len(series[id]) == 0 {
+			continue
+		}
+		if code := doJSON(t, client, "DELETE", fmt.Sprintf("%s/v1/series/%d", hs.URL, id), nil, nil); code != http.StatusOK {
+			t.Fatalf("delete %d returned %d", id, code)
+		}
+		deleted++
+	}
+	if deleted == 0 {
+		t.Fatal("no series mapped to shard 0")
+	}
+
+	var met struct {
+		Index struct {
+			ReadRetries     uint64 `json:"read_retries"`
+			ReclaimLagSlots int    `json:"reclaim_lag_slots"`
+			WriterThrottle  uint64 `json:"writer_throttle"`
+		} `json:"index"`
+		Shards []struct {
+			ReadRetries     uint64 `json:"read_retries"`
+			ReclaimLagSlots int    `json:"reclaim_lag_slots"`
+			WriterThrottle  uint64 `json:"writer_throttle"`
+		} `json:"shards"`
+	}
+	if code := doJSON(t, client, "GET", hs.URL+"/metrics", nil, &met); code != http.StatusOK {
+		t.Fatalf("metrics returned %d", code)
+	}
+	if met.Index.ReclaimLagSlots == 0 {
+		t.Fatal("reclaim_lag_slots = 0 with a pinned reader holding back reclamation")
+	}
+	if met.Index.WriterThrottle == 0 {
+		t.Fatal("writer_throttle = 0 though the lag exceeded the bound of 1")
+	}
+	if len(met.Shards) != shards {
+		t.Fatalf("metrics shards = %d, want %d", len(met.Shards), shards)
+	}
+	if met.Shards[0].ReclaimLagSlots == 0 || met.Shards[0].WriterThrottle == 0 {
+		t.Fatalf("shard 0 counters not surfaced: %+v", met.Shards[0])
+	}
+	if met.Shards[1].ReclaimLagSlots != 0 {
+		t.Fatalf("shard 1 reports reclamation lag %d without churn", met.Shards[1].ReclaimLagSlots)
+	}
+
+	var ready struct {
+		ReclaimLagSlots *int `json:"reclaim_lag_slots"`
+	}
+	if code := doJSON(t, client, "GET", hs.URL+"/readyz", nil, &ready); code != http.StatusOK {
+		t.Fatalf("readyz returned %d", code)
+	}
+	if ready.ReclaimLagSlots == nil || *ready.ReclaimLagSlots == 0 {
+		t.Fatalf("readyz reclaim_lag_slots = %v, want the pinned lag", ready.ReclaimLagSlots)
+	}
+
+	// Release the reader: it overlapped the deletes' publishes, so its
+	// validation fails and the retry counter moves.
+	close(release)
+	if code := <-knnDone; code != http.StatusOK {
+		t.Fatalf("stalled knn returned %d", code)
+	}
+	if code := doJSON(t, client, "GET", hs.URL+"/metrics", nil, &met); code != http.StatusOK {
+		t.Fatalf("metrics returned %d", code)
+	}
+	if met.Index.ReadRetries == 0 {
+		t.Fatal("read_retries = 0 though the stalled read overlapped publishes")
+	}
+	s.Index().Shard(0).SetFaultHooks(nil)
+}

@@ -103,6 +103,12 @@ type Config struct {
 	// which a ticker firing actually rebuilds a shard. Default 0.3.
 	CompactFragmentation float64
 
+	// ReclaimBound is the per-shard ceiling on arena slots retired by
+	// copy-on-write mutations but not yet reclaimed (held for in-flight
+	// readers pinning old epochs). Past it, that shard's writer throttles
+	// until epoch-based reclamation catches up; readers are never
+	// throttled. Default index.DefaultReclaimBound; <0 disables the valve.
+	ReclaimBound int
 	// MaxInflightSearch bounds concurrently admitted search requests
 	// (/v1/knn, /v1/knn/batch, /v1/range); excess requests are shed with
 	// 429 + Retry-After instead of queueing without bound. Default 256.
@@ -153,6 +159,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CompactFragmentation <= 0 {
 		c.CompactFragmentation = 0.3
+	}
+	if c.ReclaimBound == 0 {
+		c.ReclaimBound = index.DefaultReclaimBound
 	}
 	if c.MaxInflightSearch <= 0 {
 		c.MaxInflightSearch = 256
@@ -287,6 +296,7 @@ func New(cfg Config) (*Server, error) {
 		s.closeStores()
 		return nil, err
 	}
+	s.idx.SetReclaimBound(cfg.ReclaimBound)
 	s.handler = s.buildHandler()
 	if s.durable() && cfg.SnapshotEvery > 0 {
 		s.snapWG.Add(1)
