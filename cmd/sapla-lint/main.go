@@ -9,7 +9,11 @@
 // atomic/plain field access (copylocks), and the publication-safety trio
 // behind the lock-free read path — no writes through atomically published
 // values (immutpub), no arena-backed slices surviving a repack
-// (arenaretain), and epoch-bracketed snapshot reads (epochcheck).
+// (arenaretain), and epoch-bracketed snapshot reads (epochcheck) — plus the
+// flow-sensitive trio gating the streaming/multi-node tier: every goroutine
+// joined by its spawner or cancellable (goleak), bounded channel blocking on
+// the serving and WAL paths (chanflow), and no request-derived data reaching
+// the index, the WAL or an allocation size unvalidated (taintflow).
 //
 // Usage:
 //

@@ -103,7 +103,7 @@ func (s *ShardedIndex) InsertBatch(entries []*Entry) error {
 			continue
 		}
 		wg.Add(1)
-		go func(si int) { //sapla:detach fork-join worker: wg.Wait below joins it before InsertBatch returns; the flagged loop is a bounded tree descent
+		go func(si int) {
 			defer wg.Done()
 			errs[si] = s.shards[si].InsertBatch(groups[si])
 		}(si)

@@ -58,6 +58,9 @@ func (prog *Program) Interproc() *Interproc {
 }
 
 func buildInterproc(prog *Program) *Interproc {
+	// The EffSpawnDetached post-pass honors //sapla:daemon, so the directive
+	// index must exist before summaries are computed.
+	prog.ensureDirectives()
 	ip := &Interproc{
 		prog:       prog,
 		Funcs:      make(map[*types.Func]*FuncInfo),
@@ -100,6 +103,7 @@ func buildInterproc(prog *Program) *Interproc {
 		return ip.named[i].Obj().Pos() < ip.named[j].Obj().Pos()
 	})
 	ip.computeSummaries()
+	ip.computeSpawnDetached()
 	return ip
 }
 

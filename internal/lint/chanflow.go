@@ -1,0 +1,448 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ChanflowAnalyzer bounds channel blocking on the request-serving and
+// WAL-ordered paths (internal/server, internal/wal). A blocking channel
+// operation in a handler or a commit pipeline is a stall that admission
+// control cannot shed, so every send must have a bounded blocking story:
+//
+//  1. A blocking send on an unbuffered local channel must have a receiver
+//     goroutine spawned on every path before the send, or sit in a select
+//     with a default or cancellation clause. The fact is flow-sensitive
+//     (dataflow.go): a receiver spawned on only one branch does not bound
+//     the other.
+//  2. A send on a buffered local channel inside a loop can fill the buffer;
+//     it needs the same receiver-or-select story.
+//  3. A capacity-0 channel literal handed directly to a callee that writes
+//     responses or appends to the WAL (by effect summary) couples that hot
+//     path to an unbounded handoff.
+//  4. A range over a locally-made channel that no close reaches (anywhere in
+//     the function, closures included) never terminates.
+//
+// Channels of unknown provenance — parameters, fields, anything that escapes
+// into a call — are skipped: the analyzer is conservative toward silence.
+// Deliberate exceptions carry //sapla:chanok <reason>.
+var ChanflowAnalyzer = &Analyzer{
+	Name: "chanflow",
+	Doc:  "sends on unbuffered or fillable channels in serving/WAL paths must be select-guarded or receiver-bounded",
+	Run:  runChanflow,
+}
+
+func runChanflow(p *Pass) {
+	if !chanflowScope(p.Pkg) {
+		return
+	}
+	ip := p.Prog.Interproc()
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkChanFunc(p, ip, fd)
+		}
+	}
+}
+
+// chanflowScope limits the analyzer to the code paths whose stalls are
+// user-visible: the HTTP serving layer and the WAL (plus fixtures).
+func chanflowScope(pkg *Package) bool {
+	return strings.HasSuffix(pkg.Path, "/server") ||
+		strings.HasSuffix(pkg.Path, "/wal") ||
+		strings.Contains(pkg.Path, "lint/testdata/")
+}
+
+// chanFacts is the syntactic (flow-insensitive) prepass over one function:
+// which locals are make(chan)s and at what capacity, which escape, which are
+// closed somewhere, and which sends are select-guarded or loop-nested.
+type chanFacts struct {
+	cap_      map[*types.Var]int64 // local make(chan) capacity; -1 non-constant
+	escaped   map[*types.Var]bool  // passed to a call, returned, aliased, stored
+	closed    map[*types.Var]bool  // close(ch) anywhere in the function
+	guarded   map[ast.Node]bool    // select comm stmts whose select has an escape clause
+	inLoop    map[*ast.SendStmt]bool
+	inFuncLit map[ast.Node]bool // nodes inside closures: not part of this flow
+}
+
+func collectChanFacts(info *types.Info, fd *ast.FuncDecl) *chanFacts {
+	f := &chanFacts{
+		cap_:      make(map[*types.Var]int64),
+		escaped:   make(map[*types.Var]bool),
+		closed:    make(map[*types.Var]bool),
+		guarded:   make(map[ast.Node]bool),
+		inLoop:    make(map[*ast.SendStmt]bool),
+		inFuncLit: make(map[ast.Node]bool),
+	}
+	var walk func(n ast.Node, inLoop, inLit bool)
+	walk = func(root ast.Node, inLoop, inLit bool) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if n == nil || n == root {
+				return true
+			}
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				walk(n.Body, false, true)
+				return false
+			case *ast.ForStmt:
+				if n.Init != nil {
+					walk(n.Init, inLoop, inLit)
+				}
+				if n.Cond != nil {
+					walk(n.Cond, inLoop, inLit)
+				}
+				walk(n.Body, true, inLit)
+				if n.Post != nil {
+					walk(n.Post, true, inLit)
+				}
+				return false
+			case *ast.RangeStmt:
+				walk(n.X, inLoop, inLit)
+				walk(n.Body, true, inLit)
+				return false
+			case *ast.SendStmt:
+				if inLoop {
+					f.inLoop[n] = true
+				}
+				if inLit {
+					f.inFuncLit[n] = true
+				}
+			case *ast.SelectStmt:
+				if selectHasEscape(info, n) {
+					for _, c := range n.Body.List {
+						if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+							f.guarded[cc.Comm] = true
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				f.noteChanDefs(info, n)
+				// Aliasing a channel into another variable loses identity.
+				for _, rhs := range n.Rhs {
+					if _, isMake := makeChanCap(info, rhs); !isMake {
+						f.noteEscape(info, rhs)
+					}
+				}
+			case *ast.CallExpr:
+				f.noteCallEscapes(info, n)
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					f.noteEscape(info, r)
+				}
+			case *ast.CompositeLit:
+				for _, e := range n.Elts {
+					if kv, ok := e.(*ast.KeyValueExpr); ok {
+						e = kv.Value
+					}
+					f.noteEscape(info, e)
+				}
+			}
+			return true
+		})
+	}
+	walk(fd.Body, false, false)
+	return f
+}
+
+// noteChanDefs records `ch := make(chan T[, n])` capacities. A re-make of
+// the same variable keeps the worst (non-constant) capacity.
+func (f *chanFacts) noteChanDefs(info *types.Info, a *ast.AssignStmt) {
+	if len(a.Lhs) != len(a.Rhs) {
+		return
+	}
+	for i, rhs := range a.Rhs {
+		c, ok := makeChanCap(info, rhs)
+		if !ok {
+			continue
+		}
+		id, ok := ast.Unparen(a.Lhs[i]).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		v, ok := objOf(info, id).(*types.Var)
+		if !ok {
+			continue
+		}
+		if old, seen := f.cap_[v]; seen && old != c {
+			f.cap_[v] = -1
+			continue
+		}
+		f.cap_[v] = c
+	}
+}
+
+// noteCallEscapes marks channel arguments of calls as escaped — except the
+// builtins that only observe the channel (close/len/cap).
+func (f *chanFacts) noteCallEscapes(info *types.Info, call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := objOf(info, id).(*types.Builtin); ok {
+			if b.Name() == "close" && len(call.Args) == 1 {
+				if v := chanVar(info, call.Args[0]); v != nil {
+					f.closed[v] = true
+				}
+			}
+			return
+		}
+	}
+	for _, arg := range call.Args {
+		f.noteEscape(info, arg)
+	}
+}
+
+func (f *chanFacts) noteEscape(info *types.Info, e ast.Expr) {
+	if v := chanVar(info, e); v != nil {
+		f.escaped[v] = true
+	}
+}
+
+// makeChanCap matches make(chan T[, n]) and returns the capacity: 0 when
+// absent or constant zero, the constant otherwise, -1 when non-constant.
+func makeChanCap(info *types.Info, e ast.Expr) (int64, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return 0, false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return 0, false
+	}
+	b, ok := objOf(info, id).(*types.Builtin)
+	if !ok || b.Name() != "make" || len(call.Args) == 0 {
+		return 0, false
+	}
+	t := typeOf(info, call.Args[0])
+	if t == nil {
+		return 0, false
+	}
+	if _, isChan := t.Underlying().(*types.Chan); !isChan {
+		return 0, false
+	}
+	if len(call.Args) == 1 {
+		return 0, true
+	}
+	if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if n, exact := constant.Int64Val(tv.Value); exact {
+			return n, true
+		}
+	}
+	return -1, true
+}
+
+// selectHasEscape reports whether a select can always make progress without
+// committing to a blocking comm: it has a default clause, or a clause that
+// receives a cancellation signal (ctx.Done() or a chan struct{} stop
+// channel).
+func selectHasEscape(info *types.Info, sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return true // default
+		}
+		if recv := commReceiveOperand(cc.Comm); recv != nil {
+			if isCancelChan(info, recv) {
+				return true
+			}
+			if call, ok := ast.Unparen(recv).(*ast.CallExpr); ok && isCtxSignal(info, call) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// commReceiveOperand extracts ch from a comm clause of the form `<-ch` or
+// `v := <-ch` / `v, ok := <-ch`, nil for send clauses.
+func commReceiveOperand(comm ast.Stmt) ast.Expr {
+	var e ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		e = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			e = s.Rhs[0]
+		}
+	}
+	if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+		return u.X
+	}
+	return nil
+}
+
+// chanState is the flow-sensitive half: the set of channels with a receiver
+// goroutine spawned on every path to the current point (a must-fact, so the
+// join is intersection).
+type chanState struct {
+	recv map[*types.Var]bool
+}
+
+func (s *chanState) Clone() flowState {
+	c := &chanState{recv: make(map[*types.Var]bool, len(s.recv))}
+	for k, v := range s.recv {
+		c.recv[k] = v
+	}
+	return c
+}
+
+func (s *chanState) Join(o flowState) bool {
+	other := o.(*chanState)
+	changed := false
+	for k := range s.recv {
+		if !other.recv[k] {
+			delete(s.recv, k)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// checkChanFunc runs both halves over one function: the syntactic prepass
+// for provenance, guarding and closers, then the dataflow walk for the
+// receiver-spawned must-fact, reporting at blocking sends. The range-without-
+// closer and hot-path-literal rules are flow-independent and fire from the
+// prepass walk directly.
+func checkChanFunc(p *Pass, ip *Interproc, fd *ast.FuncDecl) {
+	info := p.Pkg.Info
+	facts := collectChanFacts(info, fd)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			checkChanRange(p, info, facts, n)
+		case *ast.CallExpr:
+			checkHotHandoff(p, ip, info, n)
+		}
+		return true
+	})
+
+	engine := &flowEngine{
+		transfer: func(n ast.Node, st flowState) {
+			s := st.(*chanState)
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					for _, ch := range closureReceives(info, lit) {
+						s.recv[ch] = true
+					}
+				}
+			case *ast.AssignStmt:
+				// A re-made channel starts over with no receiver.
+				for i, rhs := range n.Rhs {
+					if _, ok := makeChanCap(info, rhs); !ok || i >= len(n.Lhs) {
+						continue
+					}
+					if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok {
+						if v, ok := objOf(info, id).(*types.Var); ok {
+							delete(s.recv, v)
+						}
+					}
+				}
+			case *ast.SendStmt:
+				checkSend(p, info, facts, s, n)
+			}
+		},
+	}
+	engine.run(fd.Body, &chanState{recv: make(map[*types.Var]bool)})
+}
+
+// closureReceives returns the channel variables a spawned closure receives
+// from or ranges over — the receivers that bound a send.
+func closureReceives(info *types.Info, lit *ast.FuncLit) []*types.Var {
+	var out []*types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if v := chanVar(info, n.X); v != nil {
+					out = append(out, v)
+				}
+			}
+		case *ast.RangeStmt:
+			if v := chanVar(info, n.X); v != nil {
+				out = append(out, v)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkSend applies the bounded-blocking rules to one send statement.
+func checkSend(p *Pass, info *types.Info, facts *chanFacts, st *chanState, send *ast.SendStmt) {
+	if facts.inFuncLit[send] {
+		return // a closure's sends run under the closure's own flow
+	}
+	ch := chanVar(info, send.Chan)
+	if ch == nil {
+		return
+	}
+	capacity, local := facts.cap_[ch]
+	if !local || capacity < 0 || facts.escaped[ch] {
+		return // unknown provenance or capacity: conservative silence
+	}
+	if facts.guarded[send] {
+		return // select with default or cancellation clause
+	}
+	if st.recv[ch] {
+		return // a receiver goroutine is running on every path here
+	}
+	if capacity == 0 {
+		p.Reportf(send.Pos(),
+			"blocking send on unbuffered channel %s with no receiver goroutine spawned on every path to this send; a stalled consumer blocks this path forever — select on a cancellation signal, buffer the channel, or spawn the receiver first (//sapla:chanok <reason> overrides)",
+			renderExpr(send.Chan))
+		return
+	}
+	if facts.inLoop[send] {
+		p.Reportf(send.Pos(),
+			"send on buffered channel %s (cap %d) inside a loop can fill the buffer and block with no receiver goroutine running; drain it concurrently or select on a cancellation signal (//sapla:chanok <reason> overrides)",
+			renderExpr(send.Chan), capacity)
+	}
+}
+
+// checkChanRange flags a range over a locally-made channel that nothing ever
+// closes: the loop never terminates.
+func checkChanRange(p *Pass, info *types.Info, facts *chanFacts, rng *ast.RangeStmt) {
+	ch := chanVar(info, rng.X)
+	if ch == nil {
+		return
+	}
+	if _, local := facts.cap_[ch]; !local || facts.escaped[ch] {
+		return
+	}
+	if facts.closed[ch] {
+		return
+	}
+	p.Reportf(rng.Pos(),
+		"range over channel %s, but no close(%s) on any path in this function: the loop never terminates (//sapla:chanok <reason> overrides)",
+		renderExpr(rng.X), renderExpr(rng.X))
+}
+
+// checkHotHandoff flags a capacity-0 channel literal passed directly to a
+// callee whose effect summary writes responses or appends to the WAL: the
+// hot path inherits an unbounded handoff it cannot shed.
+func checkHotHandoff(p *Pass, ip *Interproc, info *types.Info, call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		c, ok := makeChanCap(info, ast.Unparen(arg))
+		if !ok || c != 0 {
+			continue
+		}
+		for _, callee := range ip.Callees(info, call) {
+			sum := ip.Summary(callee)
+			if sum == nil || sum.Effects&(EffRespWrite|EffWALAppend) == 0 {
+				continue
+			}
+			p.Reportf(arg.Pos(),
+				"unbuffered channel literal handed to %s, which serves responses or appends to the WAL; an unbounded handoff on a hot path blocks it — buffer the channel or pass a cancellable context (//sapla:chanok <reason> overrides)",
+				callee.Name())
+			break
+		}
+	}
+}

@@ -47,7 +47,7 @@ func runCtxflow(p *Pass) {
 					}
 				case *ast.GoStmt:
 					if goroutineScope {
-						checkCancellable(p, ip, info, n)
+						checkCancellable(p, ip, info, fd.Body, n)
 					}
 				}
 				return true
@@ -122,30 +122,24 @@ func freshContextCall(info *types.Info, e ast.Expr) string {
 }
 
 // checkCancellable flags a go statement whose spawned body may loop forever
-// without ever observing a cancellation signal.
-func checkCancellable(p *Pass, ip *Interproc, info *types.Info, g *ast.GoStmt) {
-	var eff Effect
-	what := "goroutine"
-	switch fun := ast.Unparen(g.Call.Fun).(type) {
-	case *ast.FuncLit:
-		eff = litEffects(ip, info, fun)
-	default:
-		fn := staticCallee(info, g.Call)
-		if fn == nil {
-			return // function value: opaque, nothing to prove either way
-		}
-		sum := ip.Summary(fn)
-		if sum == nil {
-			return // no body in the module (stdlib helper)
-		}
-		eff = sum.Effects
-		what = "goroutine running " + fn.Name()
+// without ever observing a cancellation signal. A goroutine joined by its
+// spawner (spawn.go's fork-join/handoff recognition) is exempt: the spawner
+// blocks until the loop exits, so the goroutine cannot outlive a drain —
+// those sites used to need //sapla:detach escapes.
+func checkCancellable(p *Pass, ip *Interproc, info *types.Info, scope *ast.BlockStmt, g *ast.GoStmt) {
+	eff, spawned, spawnedInfo, what, ok := spawnTarget(ip, info, g)
+	if !ok {
+		return // function value or bodiless callee: opaque, nothing to prove
 	}
-	if eff&EffForever != 0 && eff&EffCancel == 0 {
-		p.Reportf(g.Pos(),
-			"%s has an unbounded loop but never observes a cancellation signal (ctx.Done/ctx.Err or a chan struct{} receive); it leaks on shutdown",
-			what)
+	if eff&EffForever == 0 || eff&EffCancel != 0 {
+		return
 	}
+	if joinedBySpawner(ip, info, scope, g, spawned, spawnedInfo) {
+		return
+	}
+	p.Reportf(g.Pos(),
+		"%s has an unbounded loop but never observes a cancellation signal (ctx.Done/ctx.Err or a chan struct{} receive); it leaks on shutdown",
+		what)
 }
 
 // litEffects computes the transitive effects of a function literal: its own

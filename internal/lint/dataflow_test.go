@@ -199,6 +199,66 @@ chk("z")`,
 			wantObs: []string{"z=false"},
 		},
 		{
+			name: "goto drops its path at the join",
+			body: `mark("a")
+if cond {
+	clr("a")
+	goto out
+}
+chk("a")
+out:
+chk("b")`,
+			// The goto path terminates and contributes nothing, so the
+			// fall-through keeps a; the labeled statement after the jump
+			// target is still walked in program order.
+			wantObs: []string{"a=true", "b=false"},
+		},
+		{
+			name: "labeled break in a nested loop drops only that path",
+			body: `mark("z")
+outer:
+for chk("z") {
+	for {
+		clr("z")
+		break outer
+	}
+}
+chk("z")`,
+			// The inner path clears z and then terminates at the labeled
+			// break, so its clear never reaches the outer join: one round
+			// is stable, and the condition observes z on entry and at the
+			// end of that round.
+			wantObs: []string{"z=true", "z=true", "z=true"},
+		},
+		{
+			name: "labeled continue drops the path like break",
+			body: `loop:
+for {
+	mark("a")
+	continue loop
+}
+chk("a")`,
+			// Every body path terminates at the continue; the loop is stable
+			// after one round and the exit keeps the pre-loop state.
+			wantObs: []string{"a=false"},
+		},
+		{
+			name: "select with default inside a loop keeps the skip path",
+			body: `mark("z")
+for chk("z") {
+	select {
+	case <-ch:
+		clr("z")
+	default:
+	}
+}
+chk("z")`,
+			// The default clause preserves z, so the clause union keeps it
+			// on every round: the loop converges immediately with the fact
+			// intact.
+			wantObs: []string{"z=true", "z=true", "z=true"},
+		},
+		{
 			name: "range operand re-read each round sees body facts",
 			body: `for range chk("r") {
 	mark("r")

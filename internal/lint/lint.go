@@ -32,6 +32,16 @@
 //	//sapla:epochok <reason>   suppresses an epochcheck finding on its line
 //	                           (a snapshot-path read provably safe outside
 //	                           the epoch bracket)
+//	//sapla:daemon <reason>    suppresses a goleak finding on its line (a
+//	                           designed process-lifetime loop — the
+//	                           snapshot/compaction ticker class — that is
+//	                           collected at process exit, not by its spawner)
+//	//sapla:chanok <reason>    suppresses a chanflow finding on its line (a
+//	                           channel operation whose bound is established
+//	                           by something the analyzer cannot see)
+//	//sapla:untainted <reason> suppresses a taintflow finding on its line
+//	                           (request-derived data validated by a
+//	                           mechanism outside the recognized sanitizers)
 //
 // Suppression directives require a reason: an annotation that does not say
 // why the exception is sound is itself a finding. A directive trailing code
@@ -103,16 +113,19 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // Directive names. DirNoalloc is a marker consumed by the noalloc analyzer;
 // the rest are per-line suppressions.
 const (
-	DirNoalloc  = "noalloc"
-	DirAlloc    = "alloc"
-	DirFloatEq  = "floateq"
-	DirNonDet   = "nondet"
-	DirErrOK    = "errok"
-	DirVolatile = "volatile"
-	DirDetach   = "detach"
-	DirPrepub   = "prepub"
-	DirRetain   = "retain"
-	DirEpochOK  = "epochok"
+	DirNoalloc   = "noalloc"
+	DirAlloc     = "alloc"
+	DirFloatEq   = "floateq"
+	DirNonDet    = "nondet"
+	DirErrOK     = "errok"
+	DirVolatile  = "volatile"
+	DirDetach    = "detach"
+	DirPrepub    = "prepub"
+	DirRetain    = "retain"
+	DirEpochOK   = "epochok"
+	DirDaemon    = "daemon"
+	DirChanOK    = "chanok"
+	DirUntainted = "untainted"
 )
 
 // suppressDirective maps an analyzer to the directive that silences it.
@@ -126,21 +139,27 @@ var suppressDirective = map[string]string{
 	"immutpub":    DirPrepub,
 	"arenaretain": DirRetain,
 	"epochcheck":  DirEpochOK,
+	"goleak":      DirDaemon,
+	"chanflow":    DirChanOK,
+	"taintflow":   DirUntainted,
 }
 
 // knownDirectives is every accepted //sapla: directive and whether it
 // requires a reason.
 var knownDirectives = map[string]bool{
-	DirNoalloc:  false,
-	DirAlloc:    true,
-	DirFloatEq:  true,
-	DirNonDet:   true,
-	DirErrOK:    true,
-	DirVolatile: true,
-	DirDetach:   true,
-	DirPrepub:   true,
-	DirRetain:   true,
-	DirEpochOK:  true,
+	DirNoalloc:   false,
+	DirAlloc:     true,
+	DirFloatEq:   true,
+	DirNonDet:    true,
+	DirErrOK:     true,
+	DirVolatile:  true,
+	DirDetach:    true,
+	DirPrepub:    true,
+	DirRetain:    true,
+	DirEpochOK:   true,
+	DirDaemon:    true,
+	DirChanOK:    true,
+	DirUntainted: true,
 }
 
 // directive is one parsed //sapla: comment.
@@ -208,6 +227,17 @@ type suppressKey struct {
 	line int
 }
 
+// ensureDirectives builds the suppression index once per Program, returning
+// the directive-validation findings. Both the driver (RunTimed) and the
+// summary layer (buildInterproc, whose EffSpawnDetached post-pass must honor
+// //sapla:daemon) need the index; whichever runs first pays the cost.
+func (prog *Program) ensureDirectives() []Diagnostic {
+	if prog.suppress == nil {
+		prog.dirDiags = prog.indexDirectives()
+	}
+	return prog.dirDiags
+}
+
 // indexDirectives builds the suppression index and validates directive use,
 // reporting malformed directives under the "directive" check.
 func (prog *Program) indexDirectives() []Diagnostic {
@@ -224,7 +254,7 @@ func (prog *Program) indexDirectives() []Diagnostic {
 					diags = append(diags, Diagnostic{
 						Pos:   pos,
 						Check: "directive",
-						Message: fmt.Sprintf("unknown directive //sapla:%s (known: alloc, detach, epochok, errok, floateq, noalloc, nondet, prepub, retain, volatile)",
+						Message: fmt.Sprintf("unknown directive //sapla:%s (known: alloc, chanok, daemon, detach, epochok, errok, floateq, noalloc, nondet, prepub, retain, untainted, volatile)",
 							d.name),
 					})
 					continue
@@ -295,6 +325,9 @@ func Analyzers(names ...string) ([]*Analyzer, error) {
 		ImmutpubAnalyzer,
 		ArenaretainAnalyzer,
 		EpochcheckAnalyzer,
+		GoleakAnalyzer,
+		ChanflowAnalyzer,
+		TaintflowAnalyzer,
 	}
 	if len(names) == 0 {
 		return all, nil
@@ -338,7 +371,7 @@ func (prog *Program) Run(analyzers []*Analyzer) []Diagnostic {
 // check-outer so one analyzer's cost over every package aggregates into one
 // timing entry; program-level analyzers run once.
 func (prog *Program) RunTimed(analyzers []*Analyzer) ([]Diagnostic, []CheckTiming) {
-	diags := prog.indexDirectives()
+	diags := append([]Diagnostic(nil), prog.ensureDirectives()...)
 	var timings []CheckTiming
 
 	// The interprocedural state is shared; build it eagerly so its cost is
@@ -347,7 +380,7 @@ func (prog *Program) RunTimed(analyzers []*Analyzer) ([]Diagnostic, []CheckTimin
 	for _, a := range analyzers {
 		switch a.Name {
 		case "walorder", "ctxflow", "lockorder", "noalloc", "lockguard",
-			"immutpub", "arenaretain":
+			"immutpub", "arenaretain", "goleak", "chanflow", "taintflow":
 			needIP = true
 		}
 	}

@@ -113,6 +113,9 @@ func TestCopylocks(t *testing.T)         { runFixture(t, "copylocks", "copylocks
 func TestImmutpub(t *testing.T)          { runFixture(t, "immutpub", "immutpub") }
 func TestArenaretain(t *testing.T)       { runFixture(t, "arenaretain", "arenaretain") }
 func TestEpochcheck(t *testing.T)        { runFixture(t, "epochcheck", "epochcheck") }
+func TestGoleak(t *testing.T)            { runFixture(t, "goleak", "goleak") }
+func TestChanflow(t *testing.T)          { runFixture(t, "chanflow", "chanflow") }
+func TestTaintflow(t *testing.T)         { runFixture(t, "taintflow", "taintflow") }
 
 // TestFindingsDeterministic is the byte-stability contract behind -json and
 // the golden fixtures: the full analyzer suite over every fixture package
@@ -132,6 +135,9 @@ func TestFindingsDeterministic(t *testing.T) {
 		"./internal/lint/testdata/src/immutpub",
 		"./internal/lint/testdata/src/arenaretain",
 		"./internal/lint/testdata/src/epochcheck",
+		"./internal/lint/testdata/src/goleak",
+		"./internal/lint/testdata/src/chanflow",
+		"./internal/lint/testdata/src/taintflow",
 	}
 	analyzers, err := lint.Analyzers()
 	if err != nil {

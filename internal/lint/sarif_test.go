@@ -79,6 +79,15 @@ func TestSARIF(t *testing.T) {
 			t.Errorf("rules not sorted: %q before %q", run.Tool.Driver.Rules[i-1].ID, run.Tool.Driver.Rules[i].ID)
 		}
 	}
+	ruleIDs := make(map[string]bool, len(run.Tool.Driver.Rules))
+	for _, rule := range run.Tool.Driver.Rules {
+		ruleIDs[rule.ID] = true
+	}
+	for _, id := range []string{"goleak", "chanflow", "taintflow"} {
+		if !ruleIDs[id] {
+			t.Errorf("rules missing %q — the flow-sensitive analyzers must publish SARIF rules", id)
+		}
+	}
 	if len(run.Results) != 2 {
 		t.Fatalf("got %d results, want 2", len(run.Results))
 	}

@@ -5,6 +5,7 @@ import (
 	"go/constant"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // Effect is a bitset of the side effects a function may perform, directly
@@ -37,6 +38,13 @@ const (
 	// EffPublish: may publish a value to concurrent readers via
 	// atomic.Pointer.Store/Swap/CompareAndSwap or atomic.Value equivalents.
 	EffPublish
+	// EffSpawnDetached: contains (directly or through a callee) a go
+	// statement whose goroutine is neither joined by its spawner nor
+	// cancellable — a detached spawn. Computed in a post-pass after the main
+	// fixpoint (computeSpawnDetached) because "cancellable" depends on the
+	// converged EffCancel of the spawned tree; //sapla:daemon sites are
+	// excluded, so the bit never propagates a designed daemon to callers.
+	EffSpawnDetached
 )
 
 // ackClass classifies whether a response write acknowledges success. The
@@ -106,6 +114,19 @@ type Summary struct {
 	// callee. Call sites fold it the way ackParam folds: the bit moves to
 	// whichever caller parameter was passed in that position.
 	PubParams uint32
+	// ValidParams is a bitset of parameter indices the function validates:
+	// the parameter is passed to a ValidateSeries-style content check
+	// (directly or through a callee's ValidParams), or — for basic-typed
+	// parameters — explicitly compared in a binary expression (the ID/shape
+	// check idiom: `if k <= 0 || k > max`). taintflow treats passing a value
+	// through such a position as a sanitizer.
+	ValidParams uint32
+	// SinkParams is a bitset of parameter indices that flow into a taint
+	// sink — an Insert* index method, an Append* method on a Store, or a
+	// slice-length allocation — directly or through a callee. taintflow
+	// masks it with ValidParams at call sites: a function that validates a
+	// parameter before sinking it is a barrier, not a conduit.
+	SinkParams uint32
 }
 
 // Summary returns fn's effect summary, or nil for functions outside the
@@ -139,7 +160,7 @@ func (ip *Interproc) updateSummary(fi *FuncInfo) bool {
 	eff := baseEffects(fi)
 	ack := ackInfo{class: ackNo}
 	acq := make(map[*types.Var]token.Pos, len(s.Acquires))
-	var pub uint32
+	var pub, valid, sink uint32
 
 	info := fi.Pkg.Info
 	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
@@ -153,6 +174,11 @@ func (ip *Interproc) updateSummary(fi *FuncInfo) bool {
 		case *ast.UnaryExpr:
 			if n.Op == token.ARROW && isCancelChan(info, n.X) {
 				eff |= EffCancel
+			}
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+				valid |= cmpParamBits(info, fi.Decl, n)
 			}
 		case *ast.CallExpr:
 			if isCtxSignal(info, n) {
@@ -176,6 +202,16 @@ func (ip *Interproc) updateSummary(fi *FuncInfo) bool {
 					pub |= pubParamBit(info, fi.Decl, a)
 				}
 			}
+			if isValidatorCall(n) {
+				for _, arg := range n.Args {
+					valid |= pubParamBit(info, fi.Decl, arg)
+				}
+			}
+			if sizes := makeSizeArgs(info, n); len(sizes) > 0 {
+				for _, arg := range sizes {
+					sink |= pubParamBit(info, fi.Decl, arg)
+				}
+			}
 			for _, callee := range ip.Callees(info, n) {
 				cs := ip.summaries[callee]
 				eff |= cs.Effects
@@ -192,6 +228,24 @@ func (ip *Interproc) updateSummary(fi *FuncInfo) bool {
 						if i < 32 && cs.PubParams&(1<<i) != 0 {
 							pub |= pubParamBit(info, fi.Decl, arg)
 						}
+					}
+				}
+				if isTaintSink(callee) {
+					for _, arg := range n.Args {
+						sink |= pubParamBit(info, fi.Decl, arg)
+					}
+				}
+				for i, arg := range n.Args {
+					if i >= 32 {
+						break
+					}
+					if cs.ValidParams&(1<<i) != 0 {
+						valid |= pubParamBit(info, fi.Decl, arg)
+					}
+					// A parameter the callee validates before sinking is
+					// sanitized, not leaked: mask the sink bit.
+					if cs.SinkParams&^cs.ValidParams&(1<<i) != 0 {
+						sink |= pubParamBit(info, fi.Decl, arg)
 					}
 				}
 			}
@@ -218,7 +272,93 @@ func (ip *Interproc) updateSummary(fi *FuncInfo) bool {
 		s.PubParams |= pub
 		grew = true
 	}
+	if valid|s.ValidParams != s.ValidParams {
+		s.ValidParams |= valid
+		grew = true
+	}
+	if sink|s.SinkParams != s.SinkParams {
+		s.SinkParams |= sink
+		grew = true
+	}
 	return grew
+}
+
+// cmpParamBits maps a binary comparison onto the enclosing function's
+// parameter bitset: an explicit comparison of a basic-typed (non-bool)
+// parameter is the ID/shape-check idiom, so the parameter counts as
+// validated. Composite parameters (slices, structs) never qualify — a length
+// or bound check says nothing about their contents.
+func cmpParamBits(info *types.Info, enclosing *ast.FuncDecl, cmp *ast.BinaryExpr) uint32 {
+	var bits uint32
+	for _, side := range []ast.Expr{cmp.X, cmp.Y} {
+		id, ok := ast.Unparen(side).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok {
+			continue
+		}
+		basic, ok := obj.Type().Underlying().(*types.Basic)
+		if !ok || basic.Kind() == types.Bool || basic.Kind() == types.UntypedBool {
+			continue
+		}
+		bits |= pubParamBit(info, enclosing, id)
+	}
+	return bits
+}
+
+// isValidatorCall matches a call to any function named ValidateSeries —
+// tsio.ValidateSeries on the real ingest path, a local model in fixtures.
+// Name-based so the recognition works even when the callee lives outside the
+// module's call graph.
+func isValidatorCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "ValidateSeries"
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "ValidateSeries"
+	}
+	return false
+}
+
+// makeSizeArgs returns the length/capacity operands of a make() call for a
+// slice, map or channel — the allocation-amplification sink positions — or
+// nil when the call is not a make.
+func makeSizeArgs(info *types.Info, call *ast.CallExpr) []ast.Expr {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	b, ok := objOf(info, id).(*types.Builtin)
+	if !ok || b.Name() != "make" || len(call.Args) < 2 {
+		return nil
+	}
+	return call.Args[1:]
+}
+
+// isTaintSink reports whether fn is a taint sink by identity: an Insert*
+// method (the index mutation family) or an Append* method on a type named
+// Store (the WAL). Matches by receiver-type and method name the way
+// baseEffects does, so fixtures can model the sinks with local types.
+func isTaintSink(fn *types.Func) bool {
+	sig := fn.Type().(*types.Signature)
+	recv := sig.Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	if strings.HasPrefix(fn.Name(), "Insert") {
+		return true
+	}
+	return named.Obj().Name() == "Store" && strings.HasPrefix(fn.Name(), "Append")
 }
 
 // baseEffects assigns effects declared by a function's own identity rather

@@ -1,0 +1,157 @@
+// Package chanflow exercises the chanflow analyzer: sends on unbuffered or
+// fillable local channels must be select-guarded or receiver-bounded, ranges
+// over local channels need a closer, and capacity-0 literals must not be
+// handed to response/WAL hot paths.
+package chanflow
+
+// ResponseWriter models net/http's interface; Write/WriteHeader on it mark
+// the callee EffRespWrite (summary.go recognizes the interface by name).
+type ResponseWriter interface {
+	Write([]byte) (int, error)
+	WriteHeader(statusCode int)
+}
+
+// Store models the WAL store; Append* methods on it mark EffWALAppend.
+type Store struct{}
+
+func (s *Store) AppendIngest(id int64, vals []float64) error { return nil }
+
+// sendNoReceiver blocks forever if nobody ever receives: nothing is running
+// on the other side of the unbuffered channel.
+func sendNoReceiver() {
+	ch := make(chan int)
+	ch <- 1 // want "blocking send on unbuffered channel ch with no receiver goroutine spawned on every path"
+}
+
+// sendWithReceiver spawns the consumer first: the send is bounded.
+func sendWithReceiver() {
+	ch := make(chan int)
+	go func() {
+		<-ch
+	}()
+	ch <- 1
+}
+
+// sendReceiverOneBranch spawns the consumer on only one branch; the
+// must-fact join kills the fact, so the send can still block.
+func sendReceiverOneBranch(cond bool) {
+	ch := make(chan int)
+	if cond {
+		go func() {
+			<-ch
+		}()
+	}
+	ch <- 1 // want "blocking send on unbuffered channel ch with no receiver goroutine spawned on every path"
+}
+
+// sendSelectDefault never blocks: the default clause sheds the send.
+func sendSelectDefault() {
+	ch := make(chan int)
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// sendSelectStop is cancellable: the stop clause bounds the blocking.
+func sendSelectStop(stop chan struct{}) {
+	ch := make(chan int)
+	select {
+	case ch <- 1:
+	case <-stop:
+	}
+}
+
+// sendBufferedOnce cannot block: one send into capacity 4.
+func sendBufferedOnce() {
+	ch := make(chan int, 4)
+	ch <- 1
+	<-ch
+}
+
+// sendBufferedLoop can fill the buffer with nothing draining it.
+func sendBufferedLoop() {
+	ch := make(chan int, 4)
+	for i := 0; i < 8; i++ {
+		ch <- i // want "send on buffered channel ch \(cap 4\) inside a loop can fill the buffer"
+	}
+}
+
+// sendBufferedLoopDrained is bounded: the drain goroutine runs before the
+// loop starts filling.
+func sendBufferedLoopDrained() {
+	ch := make(chan int, 4)
+	go func() {
+		for range ch {
+		}
+	}()
+	for i := 0; i < 8; i++ {
+		ch <- i
+	}
+	close(ch)
+}
+
+func register(ch chan int) {}
+
+// sendEscaped hands the channel to a call first: provenance unknown, some
+// registered consumer may receive — conservative silence.
+func sendEscaped() {
+	ch := make(chan int)
+	register(ch)
+	ch <- 1
+}
+
+// sendEscapedDirective documents a deliberate unbounded handoff.
+func sendEscapedDirective() {
+	ch := make(chan int)
+	ch <- 1 //sapla:chanok fixture model of a deliberate rendezvous with an external consumer
+}
+
+// rangeNoClose never terminates: the producer stops but nothing ever closes
+// the channel, so the range blocks forever after the last element.
+func rangeNoClose() {
+	ch := make(chan int, 8)
+	go func() {
+		ch <- 1
+	}()
+	for v := range ch { // want "range over channel ch, but no close"
+		_ = v
+	}
+}
+
+// rangeWithClose terminates: the producer closes when done.
+func rangeWithClose() {
+	ch := make(chan int, 8)
+	go func() {
+		ch <- 1
+		close(ch)
+	}()
+	for v := range ch {
+		_ = v
+	}
+}
+
+// respond writes a response header and then waits on the handoff channel —
+// a hot path by effect summary.
+func respond(w ResponseWriter, done chan int) {
+	w.WriteHeader(200)
+	<-done
+}
+
+// persist appends to the WAL and waits — the other hot-path effect.
+func persist(s *Store, done chan int) {
+	_ = s.AppendIngest(1, nil)
+	<-done
+}
+
+func plainHelper(done chan int) {
+	<-done
+}
+
+// handoffToHotPath couples the response path to an unbounded rendezvous.
+func handoffToHotPath(w ResponseWriter, s *Store) {
+	respond(w, make(chan int))    // want "unbuffered channel literal handed to respond"
+	persist(s, make(chan int))    // want "unbuffered channel literal handed to persist"
+	respond(w, make(chan int, 1)) // buffered: the handoff cannot block the sender
+	plainHelper(make(chan int))   // not a hot path: no response or WAL effect
+}

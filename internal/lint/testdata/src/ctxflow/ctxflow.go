@@ -3,7 +3,10 @@
 // with unbounded loops must observe a cancellation signal.
 package ctxflow
 
-import "context"
+import (
+	"context"
+	"sync"
+)
 
 func helper(ctx context.Context) {}
 
@@ -89,4 +92,21 @@ func pump(stop chan struct{}) {
 // launchPump is silent: the spawned tree contains a cancellation check.
 func launchPump(stop chan struct{}) {
 	go pump(stop)
+}
+
+// launchJoinedLoop is silent without any cancellation signal: the spawner
+// blocks on the WaitGroup until the drain loop returns, so the goroutine
+// cannot outlive it — the fork-join idiom that used to need //sapla:detach.
+func launchJoinedLoop(work chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			if _, ok := <-work; !ok {
+				return
+			}
+		}
+	}()
+	wg.Wait()
 }

@@ -81,7 +81,7 @@ func (s *Server) openStores() ([]*index.DBCH, error) {
 	var wg sync.WaitGroup
 	for i := range recs {
 		wg.Add(1)
-		go func(i int) { //sapla:detach fork-join recovery worker: wg.Wait below joins it before openStores returns; the flagged loop is a bounded bulk-load descent
+		go func(i int) {
 			defer wg.Done()
 			sh := s.shards[i]
 			entries := make([]*index.Entry, 0, len(recs[i].Series))

@@ -223,20 +223,27 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Validate and reduce everything before taking the lock: reduction is the
-	// expensive part and needs no bookkeeping state.
+	// expensive part and needs no bookkeeping state. The loop doubles as the
+	// taint barrier — values and reqIDs hold only items that passed
+	// checkSeries, and every phase below works from these extracts, never
+	// from the raw request again.
 	reps := make([]repr.Representation, len(req.Series))
+	values := make([]ts.Series, len(req.Series))
+	reqIDs := make([]*int, len(req.Series))
 	for i, item := range req.Series {
 		if err := s.checkSeries(item.Values); err != nil {
 			writeErr(w, http.StatusBadRequest, "series %d: %v", i, err)
 			return
 		}
-		if len(item.Values) != len(req.Series[0].Values) {
+		values[i] = item.Values
+		reqIDs[i] = item.ID
+		if len(values[i]) != len(values[0]) {
 			writeErr(w, http.StatusBadRequest,
 				"series %d length %d does not match series 0 length %d",
-				i, len(item.Values), len(req.Series[0].Values))
+				i, len(values[i]), len(values[0]))
 			return
 		}
-		rep, err := s.reduce(item.Values)
+		rep, err := s.reduce(values[i])
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, "series %d: reduce: %v", i, err)
 			return
@@ -252,23 +259,23 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 	// one epoch advance per touched shard, with each shard's WAL append
 	// strictly before its inserts become visible.
 	s.bookMu.Lock()
-	if s.n != 0 && len(req.Series[0].Values) != s.n {
+	if s.n != 0 && len(values[0]) != s.n {
 		n := s.n
 		s.bookMu.Unlock()
 		writeErr(w, http.StatusBadRequest,
-			"series length %d does not match index series length %d", len(req.Series[0].Values), n)
+			"series length %d does not match index series length %d", len(values[0]), n)
 		return
 	}
 	// Every explicit ID must be free — against committed series, in-flight
 	// claims and the batch itself — before anything claims, so a conflict
 	// rejects with nothing to unwind.
-	ids := make([]int, len(req.Series))
-	inBatch := make(map[int]bool, len(req.Series))
-	for _, item := range req.Series {
-		if item.ID == nil {
+	ids := make([]int, len(values))
+	inBatch := make(map[int]bool, len(values))
+	for _, rid := range reqIDs {
+		if rid == nil {
 			continue
 		}
-		id := *item.ID
+		id := *rid
 		if s.claimed[id] || inBatch[id] {
 			s.bookMu.Unlock()
 			writeErr(w, http.StatusConflict, "id %d already exists", id)
@@ -276,9 +283,9 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		inBatch[id] = true
 	}
-	for i, item := range req.Series {
-		if item.ID != nil {
-			ids[i] = *item.ID
+	for i, rid := range reqIDs {
+		if rid != nil {
+			ids[i] = *rid
 			if ids[i] >= s.nextID {
 				s.nextID = ids[i] + 1
 			}
@@ -288,7 +295,7 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		s.claimed[ids[i]] = true
 	}
-	s.n = len(req.Series[0].Values)
+	s.n = len(values[0])
 	s.bookMu.Unlock()
 
 	// Split by owning shard, preserving batch order within each group so
@@ -307,7 +314,7 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		wg.Add(1)
-		go func(si int) { //sapla:detach fork-join commit worker: wg.Wait below joins it before the handler responds; the flagged loop is a bounded tree descent
+		go func(si int) {
 			defer wg.Done()
 			sh := s.shards[si]
 			group := groupIdx[si]
@@ -316,7 +323,7 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 			if sh.store != nil {
 				batch := make([]wal.Series, len(group))
 				for gi, pos := range group {
-					batch[gi] = wal.Series{ID: int64(ids[pos]), Values: req.Series[pos].Values}
+					batch[gi] = wal.Series{ID: int64(ids[pos]), Values: values[pos]}
 				}
 				if err := sh.store.AppendIngestBatch(batch); err != nil {
 					shardErrs[si] = err
@@ -326,7 +333,7 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			entries := make([]*index.Entry, len(group))
 			for gi, pos := range group {
-				entries[gi] = index.NewEntry(ids[pos], req.Series[pos].Values, reps[pos])
+				entries[gi] = index.NewEntry(ids[pos], values[pos], reps[pos])
 			}
 			if err := s.idx.Shard(si).InsertBatch(entries); err != nil {
 				// Roll this shard back: a compensating delete record per ID,
@@ -342,7 +349,7 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			for _, pos := range group {
-				sh.ids[ids[pos]] = req.Series[pos].Values
+				sh.ids[ids[pos]] = values[pos]
 			}
 		}(si)
 	}
